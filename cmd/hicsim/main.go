@@ -1,0 +1,65 @@
+// Command hicsim runs the complete reproduction — Table I, the Section
+// VII-A storage comparison, and Figures 9 through 12 — and prints an
+// EXPERIMENTS.md-style report comparing against the paper's headline
+// numbers.
+//
+// Usage:
+//
+//	hicsim [-scale test|bench]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	hic "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hicsim: ")
+	scale := flag.String("scale", "bench", "problem scale: test or bench")
+	flag.Parse()
+
+	s := hic.ScaleBench
+	if *scale == "test" {
+		s = hic.ScaleTest
+	} else if *scale != "bench" {
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	fmt.Println("== E1: Table I =================================================")
+	table1, err := hic.PatternTable(hic.ScaleTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(table1)
+
+	fmt.Println("== E2: Section VII-A storage ===================================")
+	fmt.Println(hic.StorageReport().Render())
+
+	fmt.Println("== E3 + E4: intra-block (Figures 9, 10) ========================")
+	intra, err := hic.RunIntraBlock(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(intra.Figure9.Render())
+	m9 := intra.Figure9.MeanTotals()
+	fmt.Printf("mean normalized execution time: Base %.3f (paper ~1.20), B+M+I %.3f (paper ~1.02)\n\n",
+		m9["Base"], m9["B+M+I"])
+	fmt.Println(intra.Figure10.Render())
+	m10 := intra.Figure10.MeanTotals()
+	fmt.Printf("mean normalized traffic: B+M+I %.3f (paper ~0.96)\n\n", m10["B+M+I"])
+
+	fmt.Println("== E5 + E6: inter-block (Figures 11, 12) =======================")
+	inter, err := hic.RunInterBlock(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(inter.Figure11.Render())
+	fmt.Println(inter.Figure12.Render())
+	m12 := inter.Figure12.MeanTotals()
+	fmt.Printf("mean normalized execution time: Base %.3f, Addr %.3f, Addr+L %.3f (paper: Addr+L ~1.05, -31%% vs Base, -5%% vs Addr)\n",
+		m12["Base"], m12["Addr"], m12["Addr+L"])
+}

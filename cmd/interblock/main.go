@@ -1,0 +1,46 @@
+// Command interblock regenerates the paper's inter-block evaluation:
+// Figure 11 (normalized global WB/INV counts of Addr vs Addr+L) and Figure
+// 12 (normalized execution time under HCC / Base / Addr / Addr+L).
+//
+// Usage:
+//
+//	interblock [-scale test|bench] [-counts]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	hic "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("interblock: ")
+	scale := flag.String("scale", "bench", "problem scale: test or bench")
+	countsOnly := flag.Bool("counts", false, "print only Figure 11 (global WB/INV counts)")
+	flag.Parse()
+
+	s := hic.ScaleBench
+	if *scale == "test" {
+		s = hic.ScaleTest
+	} else if *scale != "bench" {
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	res, err := hic.RunInterBlock(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Figure11.Render())
+	if *countsOnly {
+		return
+	}
+	fmt.Println(res.Figure12.Render())
+	fmt.Println("Figure 12 mean normalized execution time:")
+	means := res.Figure12.MeanTotals()
+	for _, mode := range hic.InterModes {
+		fmt.Printf("  %-8s %6.3f\n", mode, means[mode.String()])
+	}
+}

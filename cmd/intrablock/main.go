@@ -1,0 +1,65 @@
+// Command intrablock regenerates the paper's intra-block evaluation:
+// Figure 9 (normalized execution time under HCC / Base / B+M / B+I / B+M+I
+// with the INV/WB/lock/barrier/rest stall breakdown) and Figure 10
+// (normalized network traffic of HCC vs B+M+I).
+//
+// Usage:
+//
+//	intrablock [-scale test|bench] [-traffic]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	hic "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("intrablock: ")
+	scale := flag.String("scale", "bench", "problem scale: test or bench")
+	trafficOnly := flag.Bool("traffic", false, "print only Figure 10 (traffic)")
+	flag.Parse()
+
+	s := hic.ScaleBench
+	if *scale == "test" {
+		s = hic.ScaleTest
+	} else if *scale != "bench" {
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	res, err := hic.RunIntraBlock(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*trafficOnly {
+		fmt.Println(res.Figure9.Render())
+		printMeans("Figure 9 mean normalized execution time", res.Figure9)
+		fmt.Println()
+	}
+	fmt.Println(res.Figure10.Render())
+	printMeans("Figure 10 mean normalized traffic", res.Figure10)
+	os.Exit(0)
+}
+
+func printMeans(title string, f *hic.Figure) {
+	fmt.Println(title + ":")
+	means := f.MeanTotals()
+	for _, label := range barOrder(f) {
+		fmt.Printf("  %-8s %6.3f\n", label, means[label])
+	}
+}
+
+func barOrder(f *hic.Figure) []string {
+	if len(f.Groups) == 0 {
+		return nil
+	}
+	var out []string
+	for _, b := range f.Groups[0].Bars {
+		out = append(out, b.Label)
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+// Command patterns regenerates the paper's Table I: the communication-
+// pattern classification of the intra-block applications, alongside a
+// census of the synchronization operations each actually executes.
+//
+// Usage:
+//
+//	patterns [-scale test|bench]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	hic "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("patterns: ")
+	scale := flag.String("scale", "test", "problem scale: test or bench")
+	flag.Parse()
+
+	s := hic.ScaleTest
+	if *scale == "bench" {
+		s = hic.ScaleBench
+	} else if *scale != "test" {
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	out, err := hic.PatternTable(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,154 @@
+package hic
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/annotate"
+	"repro/internal/mem"
+)
+
+// Differential testing: a generated race-free program (barrier phases with
+// owner-partitioned writes, lock-protected commutative read-modify-writes,
+// and arbitrary cross-thread reads folded into per-thread checksums) must
+// leave identical memory under every configuration — hardware coherence,
+// every Table II incoherent configuration, write-through, and Bloom
+// signatures. Any divergence means some configuration lost an update or
+// read a stale value that the annotation contract should have prevented.
+
+const (
+	diffThreads = 16
+	diffSlice   = 64 // words per thread's owned slice
+)
+
+var diffConfigs = []Config{HCC, Base, BM, BI, BMI, annotate.WT, annotate.BloomSig}
+
+// genProgram builds a deterministic pseudo-random program from seed.
+// Every thread runs the same phase structure; the values written are
+// functions of phase-global state only, so the final memory is config-
+// independent if (and only if) every configuration is coherent where the
+// annotation contract promises coherence.
+func genProgram(seed int64, phases int) App {
+	return func(p *AnnotatedProc) {
+		me := p.ID()
+		n := p.NumThreads()
+		// Each guest derives its own deterministic stream: seed and
+		// thread ID only (no shared rand state across goroutines).
+		rng := rand.New(rand.NewSource(seed*1000 + int64(me)))
+		owned := func(t, i int) mem.Addr { return mem.Addr(0x10000 + (t*diffSlice+i)*mem.WordBytes) }
+		counters := func(k int) mem.Addr { return mem.Addr(0x80000 + k*mem.WordBytes) }
+		checksum := func(t, ph int) mem.Addr {
+			return mem.Addr(0xa0000 + (ph*diffThreads+t)*mem.WordBytes)
+		}
+		for ph := 0; ph < phases; ph++ {
+			// Owner-partitioned writes: a pure function of (phase, owner,
+			// index), so every run writes identical values.
+			writes := 4 + rng.Intn(12)
+			for w := 0; w < writes; w++ {
+				i := rng.Intn(diffSlice)
+				p.Store(owned(me, i), mem.Word(uint32(ph*1_000_003+me*9176+i*31)))
+			}
+			// Lock-protected commutative RMWs on shared counters.
+			rmws := rng.Intn(4)
+			for r := 0; r < rmws; r++ {
+				k := rng.Intn(8)
+				lock := 10 + k
+				p.CSEnter(lock)
+				v := p.Load(counters(k))
+				p.Store(counters(k), v+mem.Word(me+1))
+				p.CSExit(lock)
+			}
+			p.BarrierSync(0)
+			// Cross-thread reads into a checksum. Counter values are
+			// mid-flight (other threads keep RMWing them in later phases)
+			// but at this barrier point they are identical in every
+			// config, so the checksum is too.
+			var sum mem.Word
+			reads := 8 + rng.Intn(16)
+			for r := 0; r < reads; r++ {
+				t := rng.Intn(n)
+				i := rng.Intn(diffSlice)
+				sum = sum*31 + p.Load(owned(t, i))
+			}
+			sum = sum*31 + p.Load(counters(rng.Intn(8)))
+			p.Store(checksum(me, ph), sum)
+			p.BarrierSync(1)
+		}
+	}
+}
+
+// diffRun executes the generated program under cfg and returns a fingerprint
+// of all owned slices, counters, and checksums.
+func diffRun(t *testing.T, seed int64, phases int, cfg Config) string {
+	t.Helper()
+	h := NewHierarchy(NewIntraMachine(), cfg)
+	pat := Pattern{OCC: false}
+	guests := AnnotatedGuests(diffThreads, cfg, pat, genProgram(seed, phases))
+	if _, err := Run(h, guests); err != nil {
+		t.Fatalf("%s: %v", cfg.Name, err)
+	}
+	h.Drain()
+	m := h.Memory()
+	fp := ""
+	for t2 := 0; t2 < diffThreads; t2++ {
+		for i := 0; i < diffSlice; i++ {
+			fp += fmt.Sprintf("%x,", m.ReadWord(mem.Addr(0x10000+(t2*diffSlice+i)*mem.WordBytes)))
+		}
+	}
+	for k := 0; k < 8; k++ {
+		fp += fmt.Sprintf("c%x,", m.ReadWord(mem.Addr(0x80000+k*mem.WordBytes)))
+	}
+	for ph := 0; ph < phases; ph++ {
+		for t2 := 0; t2 < diffThreads; t2++ {
+			fp += fmt.Sprintf("s%x,", m.ReadWord(mem.Addr(0xa0000+(ph*diffThreads+t2)*mem.WordBytes)))
+		}
+	}
+	return fp
+}
+
+func TestDifferentialAllConfigs(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			ref := diffRun(t, seed, 3, HCC)
+			for _, cfg := range diffConfigs[1:] {
+				if got := diffRun(t, seed, 3, cfg); got != ref {
+					t.Errorf("%s diverges from HCC on seed %d", cfg.Name, seed)
+				}
+			}
+		})
+	}
+}
+
+// The negative control: stripping the annotations (running the same
+// program with the HCC no-op annotation on incoherent hardware) must
+// diverge — otherwise the differential test is vacuous.
+func TestDifferentialNegativeControl(t *testing.T) {
+	ref := diffRun(t, 1, 3, HCC)
+	h := NewHierarchy(NewIntraMachine(), Base)
+	// HCC config (no annotations) on the incoherent hierarchy.
+	guests := AnnotatedGuests(diffThreads, HCC, Pattern{}, genProgram(1, 3))
+	if _, err := Run(h, guests); err != nil {
+		t.Fatal(err)
+	}
+	h.Drain()
+	m := h.Memory()
+	fp := ""
+	for t2 := 0; t2 < diffThreads; t2++ {
+		for i := 0; i < diffSlice; i++ {
+			fp += fmt.Sprintf("%x,", m.ReadWord(mem.Addr(0x10000+(t2*diffSlice+i)*mem.WordBytes)))
+		}
+	}
+	for k := 0; k < 8; k++ {
+		fp += fmt.Sprintf("c%x,", m.ReadWord(mem.Addr(0x80000+k*mem.WordBytes)))
+	}
+	for ph := 0; ph < 3; ph++ {
+		for t2 := 0; t2 < diffThreads; t2++ {
+			fp += fmt.Sprintf("s%x,", m.ReadWord(mem.Addr(0xa0000+(ph*diffThreads+t2)*mem.WordBytes)))
+		}
+	}
+	if fp == ref {
+		t.Error("unannotated program on incoherent hardware matched HCC — differential test is vacuous")
+	}
+}

@@ -1,0 +1,71 @@
+// MPI: the message-passing half of Programming Model 1 (Section IV).
+//
+// Across blocks, the paper programs with MPI implemented over an on-chip
+// uncacheable shared buffer: a sender writes the buffer, the receiver
+// reads it, and flag synchronization in the shared-cache controller
+// sequences them — no WB/INV instructions needed because the buffer
+// bypasses the private caches. This example runs a ring exchange and a
+// broadcast (one write, many readers) over the four-block machine, with
+// each rank also doing local shared-memory work inside its block.
+package main
+
+import (
+	"fmt"
+
+	hic "repro"
+	"repro/internal/mem"
+	"repro/internal/msg"
+	"repro/internal/stats"
+)
+
+func main() {
+	m := hic.NewInterMachine()
+	h := hic.NewModeHierarchy(m, hic.ModeBase)
+	ranks := m.NumCores()
+	comm := msg.NewComm(mem.NewArena(1<<24), ranks, 16, 1000)
+
+	ringResult := make([]mem.Word, ranks)
+	bcastResult := make([]mem.Word, ranks)
+	guests := make([]hic.Guest, ranks)
+	for i := range guests {
+		i := i
+		guests[i] = func(p hic.Proc) {
+			r := comm.Attach(p, i)
+			// Ring: each rank passes an accumulating token one hop right;
+			// by construction every hop crosses a core and every eighth
+			// hop crosses a block.
+			if i == 0 {
+				r.Send(1, []mem.Word{1})
+				ringResult[0] = r.Recv(ranks-1, 1)[0]
+			} else {
+				v := r.Recv(i-1, 1)[0]
+				p.Compute(100) // local work per hop
+				r.Send((i+1)%ranks, []mem.Word{v + 1})
+				ringResult[i] = v
+			}
+			// Broadcast: rank 5 writes once; everyone reads the same
+			// uncacheable buffer (no per-recipient copies, Section IV).
+			out := comm.Bcast(p, i, 5, []mem.Word{111, 222, 333}, 1, 3)
+			bcastResult[i] = out[0] + out[1] + out[2]
+		}
+	}
+	res, err := hic.Run(h, guests)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ring of %d ranks completed in %d cycles; token back at rank 0 = %d (want %d)\n",
+		ranks, res.Cycles, ringResult[0], ranks)
+	ok := true
+	for i, v := range bcastResult {
+		if v != 666 {
+			ok = false
+			fmt.Printf("rank %d broadcast sum = %d, want 666\n", i, v)
+		}
+	}
+	if ok {
+		fmt.Println("broadcast: all 32 ranks read the single-write buffer correctly")
+	}
+	tr := res.Traffic
+	fmt.Printf("network traffic: %d flits total (%d sync-class: uncacheable messages + controller flags)\n",
+		tr.Total(), tr[stats.SyncTraffic])
+}

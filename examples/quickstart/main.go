@@ -1,0 +1,64 @@
+// Quickstart: producer-consumer communication on a hardware-incoherent
+// cache hierarchy.
+//
+// Two threads on the paper's 16-core single-block machine communicate a
+// value. On incoherent hardware this takes three steps (Section III-A,
+// Figure 2): the producer stores and WRITES BACK, the threads synchronize
+// through a flag served by the shared-cache controller, and the consumer
+// SELF-INVALIDATES before loading. The example runs the exchange twice —
+// once with the WB/INV pair and once without — to show that the hardware
+// really is incoherent: without the instructions the consumer reads a
+// stale value.
+package main
+
+import (
+	"fmt"
+
+	hic "repro"
+	"repro/internal/mem"
+)
+
+const (
+	dataAddr = mem.Addr(0x1000)
+	flagID   = 0
+)
+
+func run(annotated bool) (consumerSaw mem.Word, cycles int64) {
+	producer := func(p hic.Proc) {
+		p.Compute(500) // produce something
+		p.Store(dataAddr, 42)
+		if annotated {
+			p.WB(mem.WordRange(dataAddr, 1)) // export to the shared L2
+		}
+		p.FlagSet(flagID, 1)
+	}
+	var got mem.Word
+	consumer := func(p hic.Proc) {
+		p.Load(dataAddr) // cache a (stale) copy early
+		p.FlagWait(flagID, 1)
+		if annotated {
+			p.INV(mem.WordRange(dataAddr, 1)) // drop the stale copy
+		}
+		got = p.Load(dataAddr)
+	}
+	guests := make([]hic.Guest, 16)
+	guests[0] = producer
+	guests[1] = consumer
+	for i := 2; i < 16; i++ {
+		guests[i] = func(hic.Proc) {}
+	}
+
+	h := hic.NewHierarchy(hic.NewIntraMachine(), hic.Base)
+	res, err := hic.Run(h, guests)
+	if err != nil {
+		panic(err)
+	}
+	return got, res.Cycles
+}
+
+func main() {
+	v, cycles := run(true)
+	fmt.Printf("with WB+INV:    consumer read %d (want 42) in %d cycles\n", v, cycles)
+	v, cycles = run(false)
+	fmt.Printf("without WB+INV: consumer read %d — the caches are truly incoherent (%d cycles)\n", v, cycles)
+}

@@ -1,0 +1,260 @@
+package hic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/apps/jacobi"
+	"repro/internal/apps/nas"
+	"repro/internal/apps/splash"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// Scale selects the experiment problem sizes.
+type Scale int
+
+const (
+	// ScaleTest runs quickly (unit tests, smoke checks).
+	ScaleTest Scale = iota
+	// ScaleBench is the scale the benchmark harness reports.
+	ScaleBench
+)
+
+func splashSize(s Scale) splash.Size {
+	if s == ScaleBench {
+		return splash.Bench
+	}
+	return splash.Test
+}
+
+func nasSize(s Scale) nas.Size {
+	if s == ScaleBench {
+		return nas.Bench
+	}
+	return nas.Test
+}
+
+// IntraWorkloads returns the eleven SPLASH-2 application variants of the
+// intra-block evaluation at the given scale, on 16 threads (Table III).
+func IntraWorkloads(s Scale) []*Workload { return splash.All(splashSize(s), 16) }
+
+// InterWorkloads returns the four Model 2 applications of the inter-block
+// evaluation at the given scale, on 32 threads (Table III).
+func InterWorkloads(s Scale) []*IRWorkload {
+	sz := nasSize(s)
+	jsz := jacobi.Test
+	if s == ScaleBench {
+		jsz = jacobi.Bench
+	}
+	return []*IRWorkload{
+		nas.EP(sz, 32),
+		nas.IS(sz, 32),
+		nas.CG(sz, 32),
+		jacobi.New(jsz, 32),
+	}
+}
+
+// IntraResult is the outcome of the intra-block experiments (E3 + E4).
+type IntraResult struct {
+	// Figure9 is the normalized execution time with the paper's stall
+	// breakdown (INV, WB, lock, barrier, rest), bars HCC/Base/B+M/B+I/
+	// B+M+I per application, normalized to HCC.
+	Figure9 *Figure
+	// Figure10 is the normalized network traffic of HCC vs B+M+I with
+	// the paper's class breakdown (linefill, writeback, invalidation,
+	// memory), normalized to HCC.
+	Figure10 *Figure
+	// Raw holds every run's engine result, keyed by app then config.
+	Raw map[string]map[string]*Result
+}
+
+// RunIntraBlock executes every intra-block application under every Table
+// II configuration and builds Figures 9 and 10.
+func RunIntraBlock(s Scale) (*IntraResult, error) {
+	res := &IntraResult{
+		Figure9:  &Figure{Title: "Figure 9: normalized execution time (intra-block)", Categories: []string{"inv", "wb", "lock", "barrier", "rest"}},
+		Figure10: &Figure{Title: "Figure 10: normalized traffic, HCC vs B+M+I (flits)", Categories: []string{"linefill", "writeback", "invalidation", "memory"}},
+		Raw:      make(map[string]map[string]*Result),
+	}
+	for _, w := range IntraWorkloads(s) {
+		res.Raw[w.Name] = make(map[string]*Result)
+		var hccCycles float64
+		var hccTraffic stats.Traffic
+		g9 := stats.Group{Name: w.Name}
+		g10 := stats.Group{Name: w.Name}
+		for _, cfg := range IntraConfigs {
+			h := NewHierarchy(NewIntraMachine(), cfg)
+			r, err := w.Run(h, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.Raw[w.Name][cfg.Name] = r
+			if cfg.Name == HCC.Name {
+				hccCycles = float64(r.Cycles)
+				hccTraffic = r.Traffic
+			}
+			// The paper's per-category stall heights are aggregated over
+			// threads, scaled so the bar's total equals the parallel
+			// execution time ratio.
+			inv, wb, lock, barrier, rest := r.Stalls.Figure9()
+			tot := float64(inv + wb + lock + barrier + rest)
+			scale := float64(r.Cycles) / hccCycles / tot
+			g9.Bars = append(g9.Bars, stats.Bar{
+				Label: cfg.Name,
+				Segments: []float64{
+					float64(inv) * scale, float64(wb) * scale, float64(lock) * scale,
+					float64(barrier) * scale, float64(rest) * scale,
+				},
+			})
+			if cfg.Name == HCC.Name || cfg.Name == BMI.Name {
+				lf, wbt, invt, memt := r.Traffic.Figure10()
+				lf0, wb0, inv0, mem0 := hccTraffic.Figure10()
+				norm := float64(lf0 + wb0 + inv0 + mem0)
+				g10.Bars = append(g10.Bars, stats.Bar{
+					Label: cfg.Name,
+					Segments: []float64{
+						float64(lf) / norm, float64(wbt) / norm,
+						float64(invt) / norm, float64(memt) / norm,
+					},
+				})
+			}
+		}
+		res.Figure9.Groups = append(res.Figure9.Groups, g9)
+		res.Figure10.Groups = append(res.Figure10.Groups, g10)
+	}
+	return res, nil
+}
+
+// InterResult is the outcome of the inter-block experiments (E5 + E6).
+type InterResult struct {
+	// Figure11 compares global WB and INV line-operation counts of Addr
+	// vs Addr+L, normalized to Addr (categories: global WB, global INV).
+	Figure11 *Figure
+	// Figure12 is the normalized execution time (bars HCC/Base/Addr/
+	// Addr+L, normalized to HCC).
+	Figure12 *Figure
+	// Raw holds every run's engine result, keyed by app then mode.
+	Raw map[string]map[string]*Result
+}
+
+// RunInterBlock executes every inter-block application under every Table
+// II mode and builds Figures 11 and 12.
+func RunInterBlock(s Scale) (*InterResult, error) {
+	res := &InterResult{
+		Figure11: &Figure{Title: "Figure 11: normalized global WB and INV counts", Categories: []string{"global-wb", "global-inv"}},
+		Figure12: &Figure{Title: "Figure 12: normalized execution time (inter-block)", Categories: []string{"cycles"}},
+		Raw:      make(map[string]map[string]*Result),
+	}
+	for _, w := range InterWorkloads(s) {
+		res.Raw[w.Name] = make(map[string]*Result)
+		var hccCycles float64
+		var addrWB, addrINV float64
+		g11 := stats.Group{Name: w.Name}
+		g12 := stats.Group{Name: w.Name}
+		for _, mode := range InterModes {
+			h := NewModeHierarchy(NewInterMachine(), mode)
+			r, err := w.Run(h, mode)
+			if err != nil {
+				return nil, err
+			}
+			res.Raw[w.Name][mode.String()] = r
+			if mode == ModeHCC {
+				hccCycles = float64(r.Cycles)
+			}
+			g12.Bars = append(g12.Bars, stats.Bar{
+				Label:    mode.String(),
+				Segments: []float64{float64(r.Cycles) / hccCycles},
+			})
+			if mode == ModeAddr || mode == ModeAddrL {
+				wb, inv := h.(*core.Hierarchy).GlobalOps()
+				if mode == ModeAddr {
+					addrWB, addrINV = float64(wb), float64(inv)
+				}
+				g11.Bars = append(g11.Bars, stats.Bar{
+					Label: mode.String(),
+					Segments: []float64{
+						ratio(float64(wb), addrWB),
+						ratio(float64(inv), addrINV),
+					},
+				})
+			}
+		}
+		res.Figure11.Groups = append(res.Figure11.Groups, g11)
+		res.Figure12.Groups = append(res.Figure12.Groups, g12)
+	}
+	return res, nil
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return 0
+	}
+	return a / b
+}
+
+// PatternTable regenerates Table I: the communication-pattern
+// classification of the intra-block applications, from the workloads' own
+// declarations cross-checked against the synchronization operations they
+// actually execute.
+func PatternTable(s Scale) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: communication patterns (intra-block applications)\n")
+	fmt.Fprintf(&b, "%-14s %-28s %-28s %s\n", "app", "main", "other", "measured sync ops")
+	for _, w := range IntraWorkloads(s) {
+		h := NewHierarchy(NewIntraMachine(), Base)
+		r, err := w.Run(h, Base)
+		if err != nil {
+			return "", err
+		}
+		census := SyncCensus(r)
+		fmt.Fprintf(&b, "%-14s %-28s %-28s %s\n",
+			w.Name, strings.Join(w.Main, ", "), strings.Join(w.Other, ", "), census)
+	}
+	return b.String(), nil
+}
+
+// SyncCensus summarizes the synchronization operations of a run.
+func SyncCensus(r *Result) string {
+	type entry struct {
+		name  string
+		count int64
+	}
+	entries := []entry{
+		{"barrier", r.Ops[isa.OpBarrier]},
+		{"flag", r.Ops[isa.OpFlagSet] + r.Ops[isa.OpFlagWait]},
+		{"lock", r.Ops[isa.OpAcquire]},
+	}
+	parts := make([]string, 0, len(entries))
+	for _, e := range entries {
+		parts = append(parts, fmt.Sprintf("%s=%d", e.name, e.count))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+// VerifyAll runs every workload at test scale under every configuration
+// and mode, returning the first failure (a full self-check of the
+// reproduction).
+func VerifyAll() error {
+	for _, w := range IntraWorkloads(ScaleTest) {
+		for _, cfg := range IntraConfigs {
+			if _, err := w.Run(NewHierarchy(NewIntraMachine(), cfg), cfg); err != nil {
+				return err
+			}
+		}
+	}
+	for _, w := range InterWorkloads(ScaleTest) {
+		for _, mode := range InterModes {
+			if _, err := w.Run(NewModeHierarchy(NewInterMachine(), mode), mode); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

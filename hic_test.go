@@ -1,0 +1,147 @@
+package hic
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestVerifyAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full verification sweep")
+	}
+	if err := VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunIntraBlockShapes(t *testing.T) {
+	res, err := RunIntraBlock(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Figure9.Groups) != 11 {
+		t.Fatalf("Figure 9 has %d apps, want 11", len(res.Figure9.Groups))
+	}
+	for _, g := range res.Figure9.Groups {
+		if len(g.Bars) != 5 {
+			t.Fatalf("%s has %d bars, want 5", g.Name, len(g.Bars))
+		}
+		// HCC is the normalization baseline: its bar totals 1.0.
+		if h := g.Bars[0].Height(); math.Abs(h-1) > 1e-9 {
+			t.Errorf("%s HCC bar = %v, want 1.0", g.Name, h)
+		}
+		for _, bar := range g.Bars {
+			if len(bar.Segments) != 5 {
+				t.Errorf("%s/%s has %d segments", g.Name, bar.Label, len(bar.Segments))
+			}
+			if bar.Height() <= 0 {
+				t.Errorf("%s/%s bar empty", g.Name, bar.Label)
+			}
+		}
+	}
+	for _, g := range res.Figure10.Groups {
+		if len(g.Bars) != 2 {
+			t.Fatalf("Figure 10 %s has %d bars, want 2 (HCC, B+M+I)", g.Name, len(g.Bars))
+		}
+		if h := g.Bars[0].Height(); math.Abs(h-1) > 1e-9 {
+			t.Errorf("%s HCC traffic = %v, want 1.0", g.Name, h)
+		}
+	}
+	// The headline paper shapes, at test scale in relaxed form: B+M+I
+	// must beat Base on average, and Base must be slower than HCC.
+	means := res.Figure9.MeanTotals()
+	if means["Base"] <= 1.0 {
+		t.Errorf("Base mean %v should exceed HCC's 1.0", means["Base"])
+	}
+	if means["B+M+I"] >= means["Base"] {
+		t.Errorf("B+M+I mean %v should be below Base mean %v", means["B+M+I"], means["Base"])
+	}
+	// HCC produces invalidation traffic; B+M+I produces none.
+	for _, g := range res.Figure10.Groups {
+		if g.Bars[1].Segments[2] != 0 {
+			t.Errorf("%s: B+M+I shows invalidation traffic", g.Name)
+		}
+	}
+}
+
+func TestRunInterBlockShapes(t *testing.T) {
+	res, err := RunInterBlock(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Figure12.Groups) != 4 {
+		t.Fatalf("Figure 12 has %d apps, want 4", len(res.Figure12.Groups))
+	}
+	for _, g := range res.Figure12.Groups {
+		if len(g.Bars) != 4 {
+			t.Fatalf("%s has %d bars, want 4", g.Name, len(g.Bars))
+		}
+		if math.Abs(g.Bars[0].Height()-1) > 1e-9 {
+			t.Errorf("%s HCC bar not 1.0", g.Name)
+		}
+	}
+	byName := map[string][]float64{}
+	for _, g := range res.Figure11.Groups {
+		if len(g.Bars) != 2 {
+			t.Fatalf("Figure 11 %s has %d bars", g.Name, len(g.Bars))
+		}
+		byName[g.Name] = g.Bars[1].Segments // Addr+L: [wb, inv] fractions
+	}
+	// Jacobi benefits sharply; CG keeps its global WBs but drops INVs;
+	// EP keeps everything (pure reduction).
+	if f := byName["jacobi"][0]; f > 0.6 {
+		t.Errorf("jacobi global WB fraction = %v, want < 0.6", f)
+	}
+	if f := byName["jacobi"][1]; f > 0.6 {
+		t.Errorf("jacobi global INV fraction = %v, want < 0.6", f)
+	}
+	if f := byName["cg"][0]; f < 0.95 {
+		t.Errorf("cg global WB fraction = %v, want ~1.0", f)
+	}
+	if f := byName["cg"][1]; f >= 1.0 || f == 0 {
+		t.Errorf("cg global INV fraction = %v, want in (0,1)", f)
+	}
+	if f := byName["ep"][0]; f < 0.95 {
+		t.Errorf("ep global WB fraction = %v, want ~1.0", f)
+	}
+	// Base is the slowest configuration on average; Addr+L is not
+	// meaningfully slower than Addr (at test scale the two differ by
+	// noise on the reduction-bound apps, so allow a small tolerance).
+	means := res.Figure12.MeanTotals()
+	if means["Base"] <= means["Addr"] {
+		t.Errorf("expected Base > Addr, got Base=%v Addr=%v", means["Base"], means["Addr"])
+	}
+	if means["Addr+L"] > means["Addr"]*1.02 {
+		t.Errorf("Addr+L mean %v well above Addr mean %v", means["Addr+L"], means["Addr"])
+	}
+}
+
+func TestPatternTable(t *testing.T) {
+	out, err := PatternTable(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fft", "cholesky", "raytrace", "barrier", "outside-critical", "lock="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStorageReport(t *testing.T) {
+	r := StorageReport()
+	if kb := r.Savings().KB(); kb < 95 || kb > 110 {
+		t.Errorf("storage savings = %.1f KB, want ~102", kb)
+	}
+}
+
+func TestFigureRendersNonEmpty(t *testing.T) {
+	res, err := RunIntraBlock(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := res.Figure9.Render(); !strings.Contains(out, "Figure 9") {
+		t.Error("figure 9 render broken")
+	}
+}

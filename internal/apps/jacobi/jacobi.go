@@ -1,0 +1,102 @@
+// Package jacobi provides the 2D Jacobi application the paper developed
+// for its inter-block evaluation (Section VI): an iterative five-point
+// stencil whose inter-thread communication is entirely nearest-neighbor
+// chunk-boundary exchange — the best case for level-adaptive WB_CONS and
+// INV_PROD, since most neighbor pairs land in the same block.
+package jacobi
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/mem"
+)
+
+// Size selects a problem scale.
+type Size int
+
+const (
+	// Test is small enough for unit tests across every mode.
+	Test Size = iota
+	// Bench is the scale used by the Figure 11/12 harness.
+	Bench
+)
+
+// New builds a 2D Jacobi IR workload on an n×n grid (n chosen from size)
+// for the given thread count. The interior initialization uses the same
+// iteration space and chunking as the update loop, so the compiler can
+// prove that an element's first-iteration producer and steady-state
+// producer are the same thread (standard first-touch discipline in NUMA
+// codes).
+func New(sz Size, threads int) *compiler.IRWorkload {
+	n := 18
+	iters := 2
+	if sz == Bench {
+		n = 34
+		iters = 4
+	}
+	in := n - 2 // interior dimension
+	d := in * in
+	// Rows are padded to cache-line multiples, as any NUMA/false-sharing-
+	// aware stencil code lays them out; this matters for the HCC baseline,
+	// which otherwise ping-pongs boundary-straddling lines.
+	stride := (n + 15) &^ 15
+	ij := func(k int) (int, int) { return k/in + 1, k%in + 1 }
+	seed := func(i, j int) mem.Word { return mem.Word(uint32(i*stride+j)*2246822519 + 9) }
+
+	prog := compiler.NewProgram("jacobi")
+	prog.Array("A", n*stride)
+	prog.Array("B", n*stride)
+
+	prog.Add(&compiler.Loop{
+		Name: "init-interior", Parallel: true, Lo: 0, Hi: d,
+		Writes: []compiler.Write{{Array: "A", At: func(k int) int { i, j := ij(k); return i*stride + j }}},
+		Body: func(k int, _ func(int) mem.Word) []mem.Word {
+			i, j := ij(k)
+			return []mem.Word{seed(i, j)}
+		},
+	})
+	// Boundary cells are written once by thread 0 and never updated.
+	boundary := make([]int, 0, 4*n)
+	for j := 0; j < n; j++ {
+		boundary = append(boundary, j, (n-1)*stride+j)
+	}
+	for i := 1; i < n-1; i++ {
+		boundary = append(boundary, i*stride, i*stride+n-1)
+	}
+	prog.Add(&compiler.Loop{
+		Name: "init-boundary", Parallel: false, Lo: 0, Hi: len(boundary),
+		Writes: []compiler.Write{{Array: "A", At: func(k int) int { return boundary[k] }}},
+		Body: func(k int, _ func(int) mem.Word) []mem.Word {
+			e := boundary[k]
+			return []mem.Word{seed(e/stride, e%stride)}
+		},
+	})
+	prog.Add(&compiler.TimeLoop{
+		Iters: iters,
+		Body: []compiler.Stmt{
+			&compiler.Loop{
+				Name: "stencil", Parallel: true, Lo: 0, Hi: d,
+				Reads: []compiler.Read{
+					{Array: "A", At: func(k int) int { i, j := ij(k); return (i-1)*stride + j }},
+					{Array: "A", At: func(k int) int { i, j := ij(k); return (i+1)*stride + j }},
+					{Array: "A", At: func(k int) int { i, j := ij(k); return i*stride + j - 1 }},
+					{Array: "A", At: func(k int) int { i, j := ij(k); return i*stride + j + 1 }},
+				},
+				Writes: []compiler.Write{{Array: "B", At: func(k int) int { i, j := ij(k); return i*stride + j }}},
+				Body: func(k int, read func(int) mem.Word) []mem.Word {
+					return []mem.Word{(read(0) + read(1) + read(2) + read(3)) / 4}
+				},
+				WorkCycles: 4,
+			},
+			&compiler.Loop{
+				Name: "copy", Parallel: true, Lo: 0, Hi: d,
+				Reads:  []compiler.Read{{Array: "B", At: func(k int) int { i, j := ij(k); return i*stride + j }}},
+				Writes: []compiler.Write{{Array: "A", At: func(k int) int { i, j := ij(k); return i*stride + j }}},
+				Body: func(k int, read func(int) mem.Word) []mem.Word {
+					return []mem.Word{read(0)}
+				},
+				WorkCycles: 1,
+			},
+		},
+	})
+	return &compiler.IRWorkload{Name: "jacobi", Prog: prog, Threads: threads}
+}

@@ -1,0 +1,281 @@
+// Package nas provides the three NAS Parallel Benchmark kernels the paper
+// uses for inter-block evaluation (Section VI) — EP, IS, and CG — written
+// in the compiler package's parallel IR. Their analysis properties match
+// the paper's Figure 11 discussion: EP and IS communicate through
+// reductions (no producer-consumer pairs, so level-adaptive instructions
+// cannot help), while CG's sparse matrix-vector product reads the p vector
+// through an indirection and is handled by the inspector-executor
+// transformation.
+package nas
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/mem"
+)
+
+// Size selects a problem scale.
+type Size int
+
+const (
+	// Test is small enough for unit tests across every mode.
+	Test Size = iota
+	// Bench is the scale used by the Figure 11/12 harness.
+	Bench
+)
+
+func pick(sz Size, test, bench int) int {
+	if sz == Test {
+		return test
+	}
+	return bench
+}
+
+func hash(i int) uint32 { return uint32(i)*2654435761 + 12345 }
+
+// EP builds the embarrassingly-parallel kernel: heavy per-sample
+// computation whose only communication is the reduction of per-sample
+// results into shared bins and moment sums, followed by a serial report.
+func EP(sz Size, threads int) *compiler.IRWorkload {
+	n := pick(sz, 512, 4096)
+	work := int64(pick(sz, 24, 200))
+	const q = 16
+	prog := compiler.NewProgram("ep")
+	prog.Array("bins", q)
+	prog.Array("sums", 2)
+	prog.Array("report", q)
+
+	prog.Add(&compiler.Loop{
+		Name: "generate", Parallel: true, Lo: 0, Hi: n,
+		Reduction: &compiler.Reduction{Array: "bins", At: func(i int) int { return int(hash(i) >> 28) }},
+		Body: func(i int, _ func(int) mem.Word) []mem.Word {
+			return []mem.Word{1}
+		},
+		WorkCycles: work, // the pseudo-random pair generation and acceptance test
+	})
+	prog.Add(&compiler.Loop{
+		Name: "moments", Parallel: true, Lo: 0, Hi: n,
+		Reduction: &compiler.Reduction{Array: "sums", At: func(i int) int { return i % 2 }},
+		Body: func(i int, _ func(int) mem.Word) []mem.Word {
+			return []mem.Word{mem.Word(hash(i) % 1000)}
+		},
+		WorkCycles: work / 2,
+	})
+	prog.Add(&compiler.Loop{
+		Name: "report", Parallel: false, Lo: 0, Hi: q,
+		Reads: []compiler.Read{
+			{Array: "bins", At: func(j int) int { return j }},
+			{Array: "sums", At: func(j int) int { return j % 2 }},
+		},
+		Writes: []compiler.Write{{Array: "report", At: func(j int) int { return j }}},
+		Body: func(j int, read func(int) mem.Word) []mem.Word {
+			return []mem.Word{read(0)*3 + read(1)}
+		},
+	})
+	return &compiler.IRWorkload{Name: "ep", Prog: prog, Threads: threads}
+}
+
+// IS builds the integer-sort kernel: parallel key generation, a histogram
+// reduction over shared buckets, a serial prefix scan, and a parallel
+// ranking pass that reads the scan results.
+func IS(sz Size, threads int) *compiler.IRWorkload {
+	n := pick(sz, 512, 8192)
+	const buckets = 64
+	keyOf := func(i int) int { return int(hash(i) % buckets) }
+	prog := compiler.NewProgram("is")
+	prog.Array("keys", n)
+	prog.Array("hist", buckets)
+	prog.Array("prefix", buckets)
+	prog.Array("rank", n)
+
+	prog.Add(&compiler.Loop{
+		Name: "keyinit", Parallel: true, Lo: 0, Hi: n,
+		Writes: []compiler.Write{{Array: "keys", At: func(i int) int { return i }}},
+		Body: func(i int, _ func(int) mem.Word) []mem.Word {
+			return []mem.Word{mem.Word(keyOf(i))}
+		},
+		WorkCycles: 2,
+	})
+	prog.Add(&compiler.Loop{
+		Name: "hist", Parallel: true, Lo: 0, Hi: n,
+		Reads:     []compiler.Read{{Array: "keys", At: func(i int) int { return i }}},
+		Reduction: &compiler.Reduction{Array: "hist", At: keyOf},
+		Body: func(i int, read func(int) mem.Word) []mem.Word {
+			_ = read(0) // the key load is the kernel's memory traffic
+			return []mem.Word{1}
+		},
+		WorkCycles: 2,
+	})
+	prog.Add(&compiler.Loop{
+		Name: "prefix", Parallel: false, Lo: 1, Hi: buckets,
+		Reads: []compiler.Read{
+			{Array: "prefix", At: func(j int) int { return j - 1 }},
+			{Array: "hist", At: func(j int) int { return j - 1 }},
+		},
+		Writes: []compiler.Write{{Array: "prefix", At: func(j int) int { return j }}},
+		Body: func(j int, read func(int) mem.Word) []mem.Word {
+			return []mem.Word{read(0) + read(1)}
+		},
+	})
+	prog.Add(&compiler.Loop{
+		Name: "rank", Parallel: true, Lo: 0, Hi: n,
+		Reads: []compiler.Read{
+			{Array: "prefix", At: func(i int) int { return keyOf(i) }},
+			{Array: "keys", At: func(i int) int { return i }},
+		},
+		Writes: []compiler.Write{{Array: "rank", At: func(i int) int { return i }}},
+		Body: func(i int, read func(int) mem.Word) []mem.Word {
+			return []mem.Word{read(0)*8 + read(1)%8}
+		},
+		WorkCycles: 2,
+	})
+	return &compiler.IRWorkload{Name: "is", Prog: prog, Threads: threads}
+}
+
+// CG builds the conjugate-gradient kernel's communication skeleton: an
+// iterative sparse matrix-vector product whose reads of the p vector go
+// through the colidx indirection (inspector-executor territory), followed
+// by a direct vector update. The sparsity pattern mixes a local band with
+// far columns, as in the paper's Figure 8 discussion.
+func CG(sz Size, threads int) *compiler.IRWorkload {
+	n := pick(sz, 96, 512)
+	const nnz = 6
+	iters := pick(sz, 2, 3)
+	colOf := func(k int) int {
+		i, s := k/nnz, k%nnz
+		if s < 4 {
+			return ((i + s - 2) + n) % n // local band
+		}
+		return (i*17 + s*31 + i*i%13) % n // far, irregular
+	}
+	prog := compiler.NewProgram("cg")
+	prog.Array("colidx", n*nnz)
+	prog.Array("aval", n*nnz)
+	prog.Array("p", n)
+	prog.Array("q", n)
+
+	prog.Add(&compiler.Loop{
+		Name: "init-idx", Parallel: true, Lo: 0, Hi: n * nnz,
+		Writes: []compiler.Write{{Array: "colidx", At: func(k int) int { return k }}},
+		Body: func(k int, _ func(int) mem.Word) []mem.Word {
+			return []mem.Word{mem.Word(colOf(k))}
+		},
+	})
+	prog.Add(&compiler.Loop{
+		Name: "init-val", Parallel: true, Lo: 0, Hi: n * nnz,
+		Writes: []compiler.Write{{Array: "aval", At: func(k int) int { return k }}},
+		Body: func(k int, _ func(int) mem.Word) []mem.Word {
+			return []mem.Word{mem.Word(hash(k)%7 + 1)}
+		},
+	})
+	prog.Add(&compiler.Loop{
+		Name: "init-p", Parallel: true, Lo: 0, Hi: n,
+		Writes: []compiler.Write{{Array: "p", At: func(i int) int { return i }}},
+		Body: func(i int, _ func(int) mem.Word) []mem.Word {
+			return []mem.Word{mem.Word(hash(i) % 100)}
+		},
+	})
+
+	// The matvec's reads of p are indirect through colidx; the reads of
+	// aval are direct and thread-local under the aligned chunking.
+	matvecReads := make([]compiler.Read, 0, 2*nnz)
+	for s := 0; s < nnz; s++ {
+		s := s
+		matvecReads = append(matvecReads, compiler.Read{
+			Array:      "p",
+			At:         func(i int) int { return colOf(i*nnz + s) },
+			Indirect:   true,
+			IndexArray: "colidx",
+			IndexAt:    func(i int) int { return i*nnz + s },
+		})
+	}
+	for s := 0; s < nnz; s++ {
+		s := s
+		matvecReads = append(matvecReads, compiler.Read{
+			Array: "aval",
+			At:    func(i int) int { return i*nnz + s },
+		})
+	}
+	prog.Add(&compiler.TimeLoop{
+		Iters: iters,
+		Body: []compiler.Stmt{
+			&compiler.Loop{
+				Name: "matvec", Parallel: true, Lo: 0, Hi: n,
+				Reads:  matvecReads,
+				Writes: []compiler.Write{{Array: "q", At: func(i int) int { return i }}},
+				Body: func(i int, read func(int) mem.Word) []mem.Word {
+					var sum mem.Word
+					for s := 0; s < nnz; s++ {
+						sum += read(nnz+s) * read(s)
+					}
+					return []mem.Word{sum}
+				},
+				WorkCycles: 6,
+			},
+			&compiler.Loop{
+				Name: "update", Parallel: true, Lo: 0, Hi: n,
+				Reads: []compiler.Read{
+					{Array: "p", At: func(i int) int { return i }},
+					{Array: "q", At: func(i int) int { return i }},
+				},
+				Writes: []compiler.Write{{Array: "p", At: func(i int) int { return i }}},
+				Body: func(i int, read func(int) mem.Word) []mem.Word {
+					return []mem.Word{read(0) + read(1)*3 + 1}
+				},
+				WorkCycles: 3,
+			},
+		},
+	})
+	return &compiler.IRWorkload{Name: "cg", Prog: prog, Threads: threads}
+}
+
+// EPHier is the hierarchical-reduction rewrite of EP that Section VII-C
+// suggests as future work: samples first reduce into per-block partial
+// bins whose merges use block-local critical sections (block-local WB and
+// INV), and a second, much smaller stage combines the per-block partials
+// into the global bins. The stage-2 chunking is aligned so each thread
+// combines partials of its own block, so only blocks×Q merge operations
+// ever go global instead of threads×Q.
+func EPHier(sz Size, threads, blocks int) *compiler.IRWorkload {
+	n := pick(sz, 512, 4096)
+	const q = 16
+	coresPerBlock := threads / blocks
+	blockOfThread := func(t int) int { return t / coresPerBlock }
+	// Owner of sample i under chunk scheduling, for the partial-bin index.
+	per := (n + threads - 1) / threads
+	prog := compiler.NewProgram("ep-hier")
+	prog.Array("partial", blocks*q)
+	prog.Array("bins", q)
+	prog.Array("report", q)
+
+	prog.Add(&compiler.Loop{
+		Name: "generate-local", Parallel: true, Lo: 0, Hi: n,
+		Reduction: &compiler.Reduction{
+			Array:      "partial",
+			At:         func(i int) int { return blockOfThread(i/per)*q + int(hash(i)>>28) },
+			BlockLocal: true,
+			BlockOf:    blockOfThread,
+		},
+		Body: func(i int, _ func(int) mem.Word) []mem.Word {
+			return []mem.Word{1}
+		},
+		WorkCycles: 24,
+	})
+	prog.Add(&compiler.Loop{
+		Name: "combine", Parallel: true, Lo: 0, Hi: blocks * q,
+		Reads:     []compiler.Read{{Array: "partial", At: func(e int) int { return e }}},
+		Reduction: &compiler.Reduction{Array: "bins", At: func(e int) int { return e % q }},
+		Body: func(e int, read func(int) mem.Word) []mem.Word {
+			return []mem.Word{read(0)}
+		},
+		WorkCycles: 2,
+	})
+	prog.Add(&compiler.Loop{
+		Name: "report", Parallel: false, Lo: 0, Hi: q,
+		Reads:  []compiler.Read{{Array: "bins", At: func(j int) int { return j }}},
+		Writes: []compiler.Write{{Array: "report", At: func(j int) int { return j }}},
+		Body: func(j int, read func(int) mem.Word) []mem.Word {
+			return []mem.Word{read(0) * 3}
+		},
+	})
+	return &compiler.IRWorkload{Name: "ep-hier", Prog: prog, Threads: threads}
+}

@@ -1,0 +1,123 @@
+package splash
+
+import (
+	"fmt"
+
+	"repro/internal/annotate"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// Barnes reproduces the SPLASH-2 Barnes-Hut skeleton at grid granularity:
+// a shared spatial structure is built concurrently under per-cell locks
+// (tree build), and after a barrier every thread walks neighboring cells
+// of its bodies to accumulate forces — reads of data produced by other
+// threads partly outside critical sections.
+//
+// Bodies live on a g×g cell grid; force on a body is a commutative sum
+// over bodies in the 3×3 cell neighborhood, so results are independent of
+// insertion order and verification is exact.
+//
+// Table I: Main = Barrier, outside critical; Other = Critical.
+func Barnes(sz Size, threads int) *workload.Workload {
+	nbodies := pick(sz, 96, 512)
+	g := 6
+	cellCap := nbodies // worst case
+	const (
+		lockBase = 200
+	)
+	ar := mem.NewArena(4096)
+	count := workload.NewArray(ar, g*g)
+	lists := workload.NewArray(ar, g*g*cellCap)
+	force := workload.NewArray(ar, nbodies)
+
+	posOf := func(b int) (cx, cy int) {
+		h := uint32(b) * 2654435761
+		return int(h % uint32(g)), int((h / 16) % uint32(g))
+	}
+	massOf := func(b int) mem.Word { return mem.Word(uint32(b)*40503 + 11) }
+
+	// Sequential reference: per-cell membership, then neighborhood sums.
+	cells := make([][]int, g*g)
+	for b := 0; b < nbodies; b++ {
+		cx, cy := posOf(b)
+		cells[cy*g+cx] = append(cells[cy*g+cx], b)
+	}
+	ref := make([]mem.Word, nbodies)
+	for b := 0; b < nbodies; b++ {
+		cx, cy := posOf(b)
+		var f mem.Word
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				x, y := cx+dx, cy+dy
+				if x < 0 || x >= g || y < 0 || y >= g {
+					continue
+				}
+				for _, o := range cells[y*g+x] {
+					if o != b {
+						f += massOf(b)*3 + massOf(o)*7
+					}
+				}
+			}
+		}
+		ref[b] = f
+	}
+
+	body := func(p *annotate.P) {
+		lo, hi := workload.ChunkOf(nbodies, p.ID(), threads)
+		// Build phase: insert bodies under per-cell locks.
+		for b := lo; b < hi; b++ {
+			cx, cy := posOf(b)
+			c := cy*g + cx
+			p.CSEnter(lockBase + c)
+			n := p.Load(count.At(c))
+			p.Store(lists.At(c*cellCap+int(n)), mem.Word(b))
+			p.Store(count.At(c), n+1)
+			p.CSExit(lockBase + c)
+		}
+		p.BarrierSync(0)
+		// Force phase: read 3×3 neighborhoods built by other threads.
+		for b := lo; b < hi; b++ {
+			cx, cy := posOf(b)
+			var f mem.Word
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					x, y := cx+dx, cy+dy
+					if x < 0 || x >= g || y < 0 || y >= g {
+						continue
+					}
+					c := y*g + x
+					n := int(p.Load(count.At(c)))
+					for k := 0; k < n; k++ {
+						o := int(p.Load(lists.At(c*cellCap + k)))
+						if o != b {
+							p.Compute(2)
+							f += massOf(b)*3 + massOf(o)*7
+						}
+					}
+				}
+			}
+			p.Store(force.At(b), f)
+		}
+		p.BarrierSync(0)
+	}
+
+	verify := func(m *mem.Memory) error {
+		for b := 0; b < nbodies; b++ {
+			if got := m.ReadWord(force.At(b)); got != ref[b] {
+				return fmt.Errorf("barnes: force[%d] = %d, want %d", b, got, ref[b])
+			}
+		}
+		return nil
+	}
+
+	return &workload.Workload{
+		Name:    "barnes",
+		Threads: threads,
+		Pattern: annotate.Pattern{OCC: true},
+		Main:    []string{"barrier", "outside-critical"},
+		Other:   []string{"critical"},
+		Body:    body,
+		Verify:  verify,
+	}
+}

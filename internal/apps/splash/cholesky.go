@@ -1,0 +1,110 @@
+package splash
+
+import (
+	"fmt"
+
+	"repro/internal/annotate"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// Cholesky reproduces the SPLASH-2 sparse factorization skeleton: a shared
+// task queue of columns drained inside small critical sections, with the
+// actual column updates performed outside the critical section — the
+// paper's canonical Outside-Critical-section Communication (OCC) pattern
+// (Figure 4d). Dependencies between columns follow a synthetic elimination
+// tree and are enforced with flag synchronization (the paper notes it
+// converted Cholesky's busy-waits to flags).
+//
+// Column j's data is a pure function of its parents' data, so the result
+// is independent of which thread processes which column, and verification
+// is exact.
+//
+// Table I: Main = Outside critical; Other = Barrier, critical, flag.
+func Cholesky(sz Size, threads int) *workload.Workload {
+	cols := pick(sz, 24, 64)
+	colLen := pick(sz, 16, 32)
+	const (
+		lockQueue = 1
+		flagBase  = 100
+	)
+	ar := mem.NewArena(4096)
+	qHead := workload.NewArray(ar, 1)
+	data := workload.NewArray(ar, cols*colLen)
+
+	parents := func(j int) []int {
+		var ps []int
+		if j > 0 {
+			ps = append(ps, j-1)
+		}
+		if j/2 < j-1 {
+			ps = append(ps, j/2)
+		}
+		return ps
+	}
+	seedVal := func(j, x int) mem.Word { return mem.Word(uint32(j*colLen+x)*2654435761 + 7) }
+
+	// Sequential reference.
+	ref := make([][]mem.Word, cols)
+	for j := 0; j < cols; j++ {
+		ref[j] = make([]mem.Word, colLen)
+		for x := range ref[j] {
+			v := seedVal(j, x)
+			for pi, pcol := range parents(j) {
+				mul := mem.Word(3 + 2*pi)
+				v += ref[pcol][x] * mul
+			}
+			ref[j][x] = v
+		}
+	}
+
+	body := func(p *annotate.P) {
+		for {
+			// Pop the next column inside a small critical section.
+			p.CSEnter(lockQueue)
+			j := int(p.Load(qHead.At(0)))
+			p.Store(qHead.At(0), mem.Word(j+1))
+			p.CSExit(lockQueue)
+			if j >= cols {
+				break
+			}
+			// Wait for parents, then read their columns — data produced
+			// by other threads outside their critical sections.
+			for _, pcol := range parents(j) {
+				p.AwaitFlag(flagBase+pcol, 1)
+			}
+			for x := 0; x < colLen; x++ {
+				v := seedVal(j, x)
+				for pi, pcol := range parents(j) {
+					mul := mem.Word(3 + 2*pi)
+					v += p.Load(data.At(pcol*colLen+x)) * mul
+				}
+				p.Compute(2)
+				p.Store(data.At(j*colLen+x), v)
+			}
+			p.NotifyFlag(flagBase+j, 1)
+		}
+		p.BarrierSync(0)
+	}
+
+	verify := func(m *mem.Memory) error {
+		for j := 0; j < cols; j++ {
+			for x := 0; x < colLen; x++ {
+				if got := m.ReadWord(data.At(j*colLen + x)); got != ref[j][x] {
+					return fmt.Errorf("cholesky: col %d elem %d = %d, want %d", j, x, got, ref[j][x])
+				}
+			}
+		}
+		return nil
+	}
+
+	return &workload.Workload{
+		Name:    "cholesky",
+		Threads: threads,
+		Pattern: annotate.Pattern{OCC: true},
+		Main:    []string{"outside-critical"},
+		Other:   []string{"barrier", "critical", "flag"},
+		Body:    body,
+		Verify:  verify,
+	}
+}

@@ -1,0 +1,75 @@
+package splash
+
+import (
+	"fmt"
+
+	"repro/internal/annotate"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// FFT reproduces the SPLASH-2 FFT communication skeleton: log2(N) butterfly
+// stages over a shared array with a global barrier between stages, so every
+// stage's reads consume values produced by other threads in the previous
+// stage. The butterflies compute an exact Walsh–Hadamard transform (the
+// same stride-doubling access pattern as the radix-2 FFT, in integer
+// arithmetic), making verification bit-exact.
+//
+// Table I: Main = Barrier.
+func FFT(sz Size, threads int) *workload.Workload {
+	n := pick(sz, 256, 32768)
+	ar := mem.NewArena(4096)
+	data := workload.NewArray(ar, n)
+
+	// Sequential reference.
+	ref := make([]mem.Word, n)
+	for i := range ref {
+		ref[i] = mem.Word(uint32(i) * 2654435761)
+	}
+	for stride := 1; stride < n; stride <<= 1 {
+		for i := 0; i < n; i++ {
+			if i&stride == 0 {
+				a, b := ref[i], ref[i+stride]
+				ref[i], ref[i+stride] = a+b, a-b
+			}
+		}
+	}
+
+	body := func(p *annotate.P) {
+		lo, hi := data.Chunk(p.ID(), threads)
+		// Parallel initialization of the owned chunk.
+		for i := lo; i < hi; i++ {
+			p.Store(data.At(i), mem.Word(uint32(i)*2654435761))
+		}
+		p.BarrierSync(0)
+		for stride := 1; stride < n; stride <<= 1 {
+			for i := lo; i < hi; i++ {
+				if i&stride == 0 {
+					a := p.Load(data.At(i))
+					b := p.Load(data.At(i + stride))
+					p.Compute(4) // butterfly arithmetic
+					p.Store(data.At(i), a+b)
+					p.Store(data.At(i+stride), a-b)
+				}
+			}
+			p.BarrierSync(0)
+		}
+	}
+
+	verify := func(m *mem.Memory) error {
+		for i, want := range ref {
+			if got := m.ReadWord(data.At(i)); got != want {
+				return fmt.Errorf("fft: element %d = %d, want %d", i, got, want)
+			}
+		}
+		return nil
+	}
+
+	return &workload.Workload{
+		Name:    "fft",
+		Threads: threads,
+		Main:    []string{"barrier"},
+		Body:    body,
+		Verify:  verify,
+	}
+}

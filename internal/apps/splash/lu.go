@@ -1,0 +1,176 @@
+package splash
+
+import (
+	"fmt"
+
+	"repro/internal/annotate"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// LU reproduces the SPLASH-2 blocked dense factorization skeleton: for
+// each step k, the owner of the diagonal block factors it; after a
+// barrier, owners of the perimeter blocks update them against the
+// diagonal; after another barrier, owners of the interior blocks apply a
+// block multiply-accumulate against the perimeter. Blocks are assigned
+// round-robin to threads. Arithmetic is uint32 (exact), with the genuine
+// O(b³) inner block product.
+//
+// The contiguous variant stores each block contiguously ("blocked" layout,
+// SPLASH's LU-cont); the non-contiguous variant stores the matrix
+// row-major, so a block's rows are scattered and adjacent blocks share
+// cache lines (false sharing — SPLASH's LU-non-cont).
+//
+// Table I: Main = Barrier.
+func LU(sz Size, threads int, contiguous bool) *workload.Workload {
+	b := 16
+	nb := pick(sz, 3, 6) // nb×nb blocks of b×b
+	n := nb * b
+	ar := mem.NewArena(4096)
+	mat := workload.NewArray(ar, n*n)
+
+	// Element index for (i,j) depending on layout.
+	idx := func(i, j int) int {
+		if contiguous {
+			bi, bj := i/b, j/b
+			return (bi*nb+bj)*b*b + (i%b)*b + (j % b)
+		}
+		return i*n + j
+	}
+	owner := func(bi, bj int) int { return (bi*nb + bj) % threads }
+	initVal := func(i, j int) mem.Word { return mem.Word(uint32(i*n+j)*2246822519 + 1) }
+
+	// Sequential reference over a plain slice (same algorithm).
+	ref := make([]mem.Word, n*n)
+	at := func(i, j int) *mem.Word { return &ref[idx(i, j)] }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			*at(i, j) = initVal(i, j)
+		}
+	}
+	for k := 0; k < nb; k++ {
+		// Factor diagonal block (elementwise pseudo-factorization).
+		for i := k * b; i < (k+1)*b; i++ {
+			for j := k * b; j < (k+1)*b; j++ {
+				*at(i, j) = *at(i, j)*3 + 1
+			}
+		}
+		// Perimeter updates against the diagonal.
+		for t := k + 1; t < nb; t++ {
+			for x := 0; x < b; x++ {
+				for y := 0; y < b; y++ {
+					*at(k*b+x, t*b+y) += *at(k*b+x, k*b+y) * 7
+					*at(t*b+x, k*b+y) += *at(k*b+x, k*b+y) * 5
+				}
+			}
+		}
+		// Interior block multiply-accumulate.
+		for bi := k + 1; bi < nb; bi++ {
+			for bj := k + 1; bj < nb; bj++ {
+				for x := 0; x < b; x++ {
+					for z := 0; z < b; z++ {
+						a := *at(bi*b+x, k*b+z)
+						for y := 0; y < b; y++ {
+							*at(bi*b+x, bj*b+y) += a * *at(k*b+z, bj*b+y)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	body := func(p *annotate.P) {
+		me := p.ID()
+		// Parallel init: thread owns blocks round-robin.
+		for bi := 0; bi < nb; bi++ {
+			for bj := 0; bj < nb; bj++ {
+				if owner(bi, bj) != me {
+					continue
+				}
+				for x := 0; x < b; x++ {
+					for y := 0; y < b; y++ {
+						i, j := bi*b+x, bj*b+y
+						p.Store(mat.At(idx(i, j)), initVal(i, j))
+					}
+				}
+			}
+		}
+		p.BarrierSync(0)
+		for k := 0; k < nb; k++ {
+			if owner(k, k) == me {
+				for i := k * b; i < (k+1)*b; i++ {
+					for j := k * b; j < (k+1)*b; j++ {
+						v := p.Load(mat.At(idx(i, j)))
+						p.Store(mat.At(idx(i, j)), v*3+1)
+					}
+				}
+			}
+			p.BarrierSync(0)
+			for t := k + 1; t < nb; t++ {
+				doRow := owner(k, t) == me
+				doCol := owner(t, k) == me
+				if !doRow && !doCol {
+					continue
+				}
+				for x := 0; x < b; x++ {
+					for y := 0; y < b; y++ {
+						d := p.Load(mat.At(idx(k*b+x, k*b+y)))
+						if doRow {
+							v := p.Load(mat.At(idx(k*b+x, t*b+y)))
+							p.Store(mat.At(idx(k*b+x, t*b+y)), v+d*7)
+						}
+						if doCol {
+							v := p.Load(mat.At(idx(t*b+x, k*b+y)))
+							p.Store(mat.At(idx(t*b+x, k*b+y)), v+d*5)
+						}
+					}
+				}
+			}
+			p.BarrierSync(0)
+			for bi := k + 1; bi < nb; bi++ {
+				for bj := k + 1; bj < nb; bj++ {
+					if owner(bi, bj) != me {
+						continue
+					}
+					for x := 0; x < b; x++ {
+						for z := 0; z < b; z++ {
+							a := p.Load(mat.At(idx(bi*b+x, k*b+z)))
+							for y := 0; y < b; y++ {
+								c := p.Load(mat.At(idx(bi*b+x, bj*b+y)))
+								u := p.Load(mat.At(idx(k*b+z, bj*b+y)))
+								p.Compute(1)
+								p.Store(mat.At(idx(bi*b+x, bj*b+y)), c+a*u)
+							}
+						}
+					}
+				}
+			}
+			p.BarrierSync(0)
+		}
+	}
+
+	verify := func(m *mem.Memory) error {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if got := m.ReadWord(mat.At(idx(i, j))); got != *at(i, j) {
+					return fmt.Errorf("lu(%v): element (%d,%d) = %d, want %d", contiguous, i, j, got, *at(i, j))
+				}
+			}
+		}
+		return nil
+	}
+
+	name := "lu-cont"
+	if !contiguous {
+		name = "lu-noncont"
+	}
+	return &workload.Workload{
+		Name:    name,
+		Threads: threads,
+		Main:    []string{"barrier"},
+		Body: func(p *annotate.P) {
+			body(p)
+		},
+		Verify: verify,
+	}
+}

@@ -1,0 +1,146 @@
+package splash
+
+import (
+	"fmt"
+
+	"repro/internal/annotate"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// Ocean reproduces the SPLASH-2 ocean simulation skeleton: red-black
+// relaxation sweeps over a shared 2D grid with global barriers between
+// colors and iterations, plus a per-iteration residual accumulation into a
+// global word inside a critical section.
+//
+// The contiguous variant assigns each thread a contiguous band of rows
+// (SPLASH's "contiguous partitions" 4D layout: a thread's data is local);
+// the non-contiguous variant deals rows round-robin, so every thread's
+// rows interleave with every other's and boundary sharing is pervasive.
+// Red cells read only black cells and vice versa, so the computation is
+// deterministic regardless of partitioning; integer averaging keeps it
+// exact.
+//
+// Table I: Main = Barrier, critical.
+func Ocean(sz Size, threads int, contiguous bool) *workload.Workload {
+	n := pick(sz, 18, 130) // grid (n)x(n) including fixed boundary
+	iters := pick(sz, 2, 3)
+	// The contiguous variant models SPLASH's 4D-array layout: rows padded
+	// to cache-line multiples, so no two threads' data share a line. The
+	// non-contiguous variant models the plain 2D-array layout: rows are
+	// packed, so lines straddle row boundaries and threads false-share at
+	// band edges.
+	stride := n
+	if contiguous {
+		stride = (n + 15) &^ 15
+	}
+	const lockResid = 1
+	ar := mem.NewArena(4096)
+	grid := workload.NewArray(ar, n*stride)
+	resid := workload.NewArray(ar, 1)
+
+	initVal := func(i, j int) mem.Word { return mem.Word(uint32(i*stride+j)*2246822519 + 5) }
+	rowsOf := func(t int) []int {
+		lo, hi := workload.ChunkOf(n-2, t, threads)
+		var rows []int
+		for r := lo + 1; r <= hi; r++ {
+			rows = append(rows, r)
+		}
+		return rows
+	}
+
+	// Sequential reference.
+	ref := make([]mem.Word, n*stride)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			ref[i*stride+j] = initVal(i, j)
+		}
+	}
+	var refResid mem.Word
+	for it := 0; it < iters; it++ {
+		for color := 0; color < 2; color++ {
+			for i := 1; i < n-1; i++ {
+				for j := 1; j < n-1; j++ {
+					if (i+j)%2 != color {
+						continue
+					}
+					ref[i*stride+j] = (ref[(i-1)*stride+j] + ref[(i+1)*stride+j] + ref[i*stride+j-1] + ref[i*stride+j+1]) / 4
+				}
+			}
+		}
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				refResid += ref[i*stride+j] % 97
+			}
+		}
+	}
+
+	body := func(p *annotate.P) {
+		rows := rowsOf(p.ID())
+		// Parallel init: interior rows by owner, boundary by thread 0.
+		for _, i := range rows {
+			for j := 0; j < n; j++ {
+				p.Store(grid.At(i*stride+j), initVal(i, j))
+			}
+		}
+		if p.ID() == 0 {
+			for j := 0; j < n; j++ {
+				p.Store(grid.At(j), initVal(0, j))
+				p.Store(grid.At((n-1)*stride+j), initVal(n-1, j))
+			}
+		}
+		p.BarrierSync(0)
+		for it := 0; it < iters; it++ {
+			for color := 0; color < 2; color++ {
+				for _, i := range rows {
+					for j := 1; j < n-1; j++ {
+						if (i+j)%2 != color {
+							continue
+						}
+						up := p.Load(grid.At((i-1)*stride + j))
+						dn := p.Load(grid.At((i+1)*stride + j))
+						lf := p.Load(grid.At(i*stride + j - 1))
+						rt := p.Load(grid.At(i*stride + j + 1))
+						p.Compute(8)
+						p.Store(grid.At(i*stride+j), (up+dn+lf+rt)/4)
+					}
+				}
+				p.BarrierSync(0)
+			}
+			var local mem.Word
+			for _, i := range rows {
+				for j := 1; j < n-1; j++ {
+					local += p.Load(grid.At(i*stride+j)) % 97
+				}
+			}
+			p.CSEnter(lockResid)
+			r := p.Load(resid.At(0))
+			p.Store(resid.At(0), r+local)
+			p.CSExit(lockResid)
+			p.BarrierSync(0)
+		}
+	}
+
+	verify := func(m *mem.Memory) error {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if got := m.ReadWord(grid.At(i*stride + j)); got != ref[i*stride+j] {
+					return fmt.Errorf("ocean(%v): cell (%d,%d) = %d, want %d", contiguous, i, j, got, ref[i*stride+j])
+				}
+			}
+		}
+		return workload.CheckWord(m, resid.At(0), refResid, "ocean residual")
+	}
+
+	name := "ocean-cont"
+	if !contiguous {
+		name = "ocean-noncont"
+	}
+	return &workload.Workload{
+		Name:    name,
+		Threads: threads,
+		Main:    []string{"barrier", "critical"},
+		Body:    body,
+		Verify:  verify,
+	}
+}

@@ -1,0 +1,90 @@
+package splash
+
+import (
+	"fmt"
+
+	"repro/internal/annotate"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// Raytrace reproduces the SPLASH-2 ray tracer's scheduling structure: a
+// read-only scene, a global job queue of ray bundles drained with very
+// frequent, very small critical sections (the paper singles Raytrace out
+// for its fine-grain lock structure), and a racy start flag communicated
+// per Figure 6b. Each job's result is a pure function of the scene, so
+// results are independent of which thread processes which job.
+//
+// Table I: Main = Critical; Other = Barrier, data race.
+func Raytrace(sz Size, threads int) *workload.Workload {
+	jobs := pick(sz, 64, 256)
+	sceneLen := pick(sz, 256, 4096)
+	jobWork := pick(sz, 8, 16) // scene samples per job
+	const lockQueue = 1
+	ar := mem.NewArena(4096)
+	start := workload.NewArray(ar, 1) // racy flag word
+	qHead := workload.NewArray(ar, 1)
+	scene := workload.NewArray(ar, sceneLen)
+	out := workload.NewArray(ar, jobs)
+
+	sceneVal := func(i int) mem.Word { return mem.Word(uint32(i)*2246822519 + 3) }
+	// Sequential reference.
+	ref := make([]mem.Word, jobs)
+	for j := 0; j < jobs; j++ {
+		var acc mem.Word = mem.Word(j)
+		for k := 0; k < jobWork; k++ {
+			s := sceneVal((j*jobWork + k*7) % sceneLen)
+			acc = acc*31 + s
+		}
+		ref[j] = acc
+	}
+
+	body := func(p *annotate.P) {
+		if p.ID() == 0 {
+			// Thread 0 builds the scene, then releases the workers with a
+			// racy flag (Figure 6b): scene ranges are the payload.
+			for i := 0; i < sceneLen; i++ {
+				p.Store(scene.At(i), sceneVal(i))
+			}
+			p.RacePublish(start.At(0), 1, scene.Whole(), qHead.Slice(0, 1))
+		} else {
+			p.RaceSpin(start.At(0), func(v mem.Word) bool { return v == 1 },
+				scene.Whole(), qHead.Slice(0, 1))
+		}
+		for {
+			p.CSEnter(lockQueue)
+			j := int(p.Load(qHead.At(0)))
+			p.Store(qHead.At(0), mem.Word(j+1))
+			p.CSExit(lockQueue)
+			if j >= jobs {
+				break
+			}
+			var acc mem.Word = mem.Word(j)
+			for k := 0; k < jobWork; k++ {
+				s := p.Load(scene.At((j*jobWork + k*7) % sceneLen))
+				p.Compute(8)
+				acc = acc*31 + s
+			}
+			p.Store(out.At(j), acc)
+		}
+		p.BarrierSync(0)
+	}
+
+	verify := func(m *mem.Memory) error {
+		for j := 0; j < jobs; j++ {
+			if got := m.ReadWord(out.At(j)); got != ref[j] {
+				return fmt.Errorf("raytrace: job %d = %d, want %d", j, got, ref[j])
+			}
+		}
+		return nil
+	}
+
+	return &workload.Workload{
+		Name:    "raytrace",
+		Threads: threads,
+		Main:    []string{"critical"},
+		Other:   []string{"barrier", "data-race"},
+		Body:    body,
+		Verify:  verify,
+	}
+}

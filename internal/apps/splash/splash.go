@@ -1,0 +1,54 @@
+// Package splash provides scaled-down reimplementations of the SPLASH-2
+// applications the paper uses for intra-block evaluation (Section VI):
+// FFT, LU (contiguous and non-contiguous), Cholesky, Barnes, Raytrace,
+// Volrend, Ocean (contiguous and non-contiguous), and Water (nsquared and
+// spatial). Each kernel reproduces its Table I communication-pattern mix —
+// barriers, critical sections, flags, outside-critical-section
+// communication, and data races — with real shared-memory computation over
+// the simulated address space, scaled so cycle-level simulation stays
+// fast. Every kernel self-verifies against a sequential reference, so a
+// configuration that misses a required WB or INV fails the run rather than
+// silently reporting timing for a wrong execution.
+//
+// Arithmetic is exact (uint32 wraparound, integer averages), which makes
+// verification bit-exact, and all per-molecule/per-cell accumulations are
+// commutative so results are independent of dynamic task assignment.
+package splash
+
+import "repro/internal/workload"
+
+// Size selects a problem scale.
+type Size int
+
+const (
+	// Test is small enough for unit tests across every configuration.
+	Test Size = iota
+	// Bench is the scale used by the Figure 9/10 harness.
+	Bench
+)
+
+// All returns all eleven application variants (Figure 9's x-axis) at the
+// given size for the given thread count.
+func All(sz Size, threads int) []*workload.Workload {
+	return []*workload.Workload{
+		FFT(sz, threads),
+		LU(sz, threads, true),
+		LU(sz, threads, false),
+		Cholesky(sz, threads),
+		Barnes(sz, threads),
+		Raytrace(sz, threads),
+		Volrend(sz, threads),
+		Ocean(sz, threads, true),
+		Ocean(sz, threads, false),
+		Water(sz, threads, false),
+		Water(sz, threads, true),
+	}
+}
+
+// pick returns a or b depending on sz.
+func pick(sz Size, test, bench int) int {
+	if sz == Test {
+		return test
+	}
+	return bench
+}

@@ -1,0 +1,102 @@
+package splash
+
+import (
+	"fmt"
+
+	"repro/internal/annotate"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// Volrend reproduces the SPLASH-2 volume renderer's structure: several
+// rendering phases separated by barriers; within each phase threads grab
+// tile tasks from a shared per-phase counter inside a small critical
+// section and write their tile's pixels outside it; the next phase reads
+// neighboring tiles produced by whichever thread happened to grab them —
+// outside-critical-section communication across phases.
+//
+// A tile's next-phase value is a pure function of its neighborhood, so
+// results are independent of tile-to-thread assignment.
+//
+// Table I: Main = Barrier, outside critical.
+func Volrend(sz Size, threads int) *workload.Workload {
+	tiles := pick(sz, 32, 96)
+	tileLen := 32
+	phases := pick(sz, 3, 4)
+	const lockBase = 1
+	ar := mem.NewArena(4096)
+	counters := workload.NewArray(ar, phases)
+	imgA := workload.NewArray(ar, tiles*tileLen)
+	imgB := workload.NewArray(ar, tiles*tileLen)
+
+	initVal := func(i int) mem.Word { return mem.Word(uint32(i)*2654435761 + 13) }
+
+	// Sequential reference.
+	cur := make([]mem.Word, tiles*tileLen)
+	nxt := make([]mem.Word, tiles*tileLen)
+	for i := range cur {
+		cur[i] = initVal(i)
+	}
+	for ph := 0; ph < phases; ph++ {
+		for t := 0; t < tiles; t++ {
+			left, right := (t+tiles-1)%tiles, (t+1)%tiles
+			for x := 0; x < tileLen; x++ {
+				nxt[t*tileLen+x] = cur[t*tileLen+x]*3 + cur[left*tileLen+x] + cur[right*tileLen+x]
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	want := cur
+
+	body := func(p *annotate.P) {
+		lo, hi := workload.ChunkOf(tiles*tileLen, p.ID(), threads)
+		for i := lo; i < hi; i++ {
+			p.Store(imgA.At(i), initVal(i))
+		}
+		p.BarrierSync(0)
+		src, dst := imgA, imgB
+		for ph := 0; ph < phases; ph++ {
+			for {
+				p.CSEnter(lockBase)
+				t := int(p.Load(counters.At(ph)))
+				p.Store(counters.At(ph), mem.Word(t+1))
+				p.CSExit(lockBase)
+				if t >= tiles {
+					break
+				}
+				left, right := (t+tiles-1)%tiles, (t+1)%tiles
+				for x := 0; x < tileLen; x++ {
+					c := p.Load(src.At(t*tileLen + x))
+					l := p.Load(src.At(left*tileLen + x))
+					r := p.Load(src.At(right*tileLen + x))
+					p.Compute(16)
+					p.Store(dst.At(t*tileLen+x), c*3+l+r)
+				}
+			}
+			p.BarrierSync(0)
+			src, dst = dst, src
+		}
+	}
+
+	verify := func(m *mem.Memory) error {
+		final := imgA
+		if phases%2 == 1 {
+			final = imgB
+		}
+		for i := 0; i < tiles*tileLen; i++ {
+			if got := m.ReadWord(final.At(i)); got != want[i] {
+				return fmt.Errorf("volrend: pixel %d = %d, want %d", i, got, want[i])
+			}
+		}
+		return nil
+	}
+
+	return &workload.Workload{
+		Name:    "volrend",
+		Threads: threads,
+		Pattern: annotate.Pattern{OCC: true},
+		Main:    []string{"barrier", "outside-critical"},
+		Body:    body,
+		Verify:  verify,
+	}
+}

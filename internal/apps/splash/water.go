@@ -1,0 +1,168 @@
+package splash
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/annotate"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// Water reproduces the SPLASH-2 Water codes: per-timestep phases separated
+// by barriers, with pairwise force accumulation into shared per-molecule
+// arrays protected by per-molecule locks. The nsquared variant visits all
+// molecule pairs; the spatial variant places molecules into 1D cells and
+// only interacts molecules of the same or adjacent cells, which both cuts
+// the work and (as in the paper's classification) makes synchronization
+// comparatively coarse.
+//
+// Force contributions are commutative uint32 sums, so the result does not
+// depend on accumulation order and verification is exact.
+//
+// Table I: Main = Barrier, critical.
+func Water(sz Size, threads int, spatial bool) *workload.Workload {
+	nmol := pick(sz, 24, 64)
+	steps := 2
+	ncells := 6
+	const lockBase = 100
+	ar := mem.NewArena(4096)
+	pos := workload.NewArray(ar, nmol)
+	frc := workload.NewArray(ar, nmol)
+
+	initPos := func(i int) mem.Word { return mem.Word(uint32(i)*2654435761%1024 + 1) }
+	cellOf := func(v mem.Word) int { return int(v) * ncells / 1026 }
+	interact := func(a, b mem.Word) mem.Word { return (a+b)*3 + (a ^ b) }
+	move := func(v, f mem.Word) mem.Word { return (v + f%17) % 1024 }
+
+	// Sequential reference.
+	rp := make([]mem.Word, nmol)
+	rf := make([]mem.Word, nmol)
+	for i := range rp {
+		rp[i] = initPos(i)
+	}
+	for s := 0; s < steps; s++ {
+		for i := range rf {
+			rf[i] = 0
+		}
+		for i := 0; i < nmol; i++ {
+			for j := i + 1; j < nmol; j++ {
+				if spatial {
+					ci, cj := cellOf(rp[i]), cellOf(rp[j])
+					if ci-cj > 1 || cj-ci > 1 {
+						continue
+					}
+				}
+				g := interact(rp[i], rp[j])
+				rf[i] += g
+				rf[j] += g * 2
+			}
+		}
+		for i := 0; i < nmol; i++ {
+			rp[i] = move(rp[i], rf[i])
+		}
+	}
+
+	body := func(p *annotate.P) {
+		lo, hi := workload.ChunkOf(nmol, p.ID(), threads)
+		for i := lo; i < hi; i++ {
+			p.Store(pos.At(i), initPos(i))
+		}
+		p.BarrierSync(0)
+		for s := 0; s < steps; s++ {
+			// Clear owned force slots.
+			for i := lo; i < hi; i++ {
+				p.Store(frc.At(i), 0)
+			}
+			p.BarrierSync(0)
+			// Pairwise interactions for owned i. The nsquared variant
+			// locks per pair update (its fine-grain structure); the
+			// spatial variant accumulates locally and flushes once per
+			// touched molecule, which is what makes its synchronization
+			// coarse in the paper's classification.
+			acc := make(map[int]mem.Word)
+			for i := lo; i < hi; i++ {
+				pi := p.Load(pos.At(i))
+				var selfAcc mem.Word
+				for j := i + 1; j < nmol; j++ {
+					pj := p.Load(pos.At(j))
+					if spatial {
+						ci, cj := cellOf(pi), cellOf(pj)
+						if ci-cj > 1 || cj-ci > 1 {
+							continue
+						}
+					}
+					p.Compute(224)
+					g := interact(pi, pj)
+					selfAcc += g
+					if spatial {
+						acc[j] += g * 2
+						continue
+					}
+					// Cross-thread accumulation under molecule j's lock.
+					p.CSEnter(lockBase + j)
+					fj := p.Load(frc.At(j))
+					p.Store(frc.At(j), fj+g*2)
+					p.CSExit(lockBase + j)
+				}
+				if spatial {
+					acc[i] += selfAcc
+					continue
+				}
+				p.CSEnter(lockBase + i)
+				fi := p.Load(frc.At(i))
+				p.Store(frc.At(i), fi+selfAcc)
+				p.CSExit(lockBase + i)
+			}
+			if spatial {
+				keys := make([]int, 0, len(acc))
+				for j := range acc {
+					keys = append(keys, j)
+				}
+				sort.Ints(keys)
+				// One batched flush per thread per step: this is what
+				// makes spatial's synchronization coarse in Table I's
+				// classification.
+				p.CSEnter(lockBase)
+				for _, j := range keys {
+					fj := p.Load(frc.At(j))
+					p.Store(frc.At(j), fj+acc[j])
+				}
+				p.CSExit(lockBase)
+			}
+			p.BarrierSync(0)
+			// Integrate owned molecules.
+			for i := lo; i < hi; i++ {
+				v := p.Load(pos.At(i))
+				f := p.Load(frc.At(i))
+				p.Compute(2)
+				p.Store(pos.At(i), move(v, f))
+			}
+			p.BarrierSync(0)
+		}
+	}
+
+	verify := func(m *mem.Memory) error {
+		for i := 0; i < nmol; i++ {
+			if got := m.ReadWord(pos.At(i)); got != rp[i] {
+				return fmt.Errorf("water(spatial=%v): pos[%d] = %d, want %d", spatial, i, got, rp[i])
+			}
+			if got := m.ReadWord(frc.At(i)); got != rf[i] {
+				return fmt.Errorf("water(spatial=%v): force[%d] = %d, want %d", spatial, i, got, rf[i])
+			}
+		}
+		return nil
+	}
+
+	name := "water-nsq"
+	if spatial {
+		name = "water-sp"
+	}
+	return &workload.Workload{
+		Name:    name,
+		Threads: threads,
+		Main:    []string{"barrier", "critical"},
+		Body:    body,
+		Verify:  verify,
+	}
+}

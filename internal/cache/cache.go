@@ -1,0 +1,279 @@
+// Package cache implements the set-associative write-back caches shared by
+// both hierarchies in this repository. Lines carry real word values, a
+// single valid bit, per-word dirty bits (Section III-B's fine-grained dirty
+// bits), and — for the hardware-coherent configuration only — a MESI state
+// byte that the incoherent hierarchy ignores.
+//
+// The cache is a passive structure: it looks up, inserts, evicts, and
+// traverses lines, and counts events. All protocol behavior (what to do on
+// a miss, where written-back data goes, who gets invalidated) lives in the
+// hierarchy packages that own the caches.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// State is a MESI coherence state. Incoherent caches leave lines in
+// StateNone; the mesi package uses the other values.
+type State uint8
+
+const (
+	// StateNone marks a line whose cache is not hardware-coherent.
+	StateNone State = iota
+	// Invalid, Shared, Exclusive, Modified are the MESI stable states.
+	Invalid
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case StateNone:
+		return "-"
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Line is one cache line frame.
+type Line struct {
+	// Tag is the line address (full address of the line's first byte).
+	Tag mem.Addr
+	// Valid is the line's single valid bit. INV must clear the whole line
+	// because there is only one valid bit (Section III-B).
+	Valid bool
+	// Dirty holds the per-word dirty bits.
+	Dirty mem.LineMask
+	// State is the MESI state for hardware-coherent caches.
+	State State
+	// Words are the line's data.
+	Words [mem.WordsPerLine]mem.Word
+
+	lru uint64
+}
+
+// IsDirty reports whether any word of the line is dirty.
+func (l *Line) IsDirty() bool { return l.Valid && l.Dirty != 0 }
+
+// FrameID identifies a physical line frame within a cache. The MEB records
+// frame IDs rather than addresses: for a 32-KB cache with 64-B lines that
+// is a 9-bit ID (Table III).
+type FrameID int
+
+// Config sizes a cache.
+type Config struct {
+	// Bytes is the total capacity.
+	Bytes int
+	// Ways is the associativity.
+	Ways int
+}
+
+// Cache is one set-associative write-back cache.
+type Cache struct {
+	cfg    Config
+	sets   int
+	frames []Line // sets × ways, frame f = set*ways + way
+	clock  uint64
+
+	// Event counters.
+	Hits, Misses, Evictions, WritebacksOnEvict int64
+}
+
+// New builds a cache. Capacity must be a multiple of ways × line size and
+// the set count must be a power of two.
+func New(cfg Config) *Cache {
+	if cfg.Ways <= 0 || cfg.Bytes <= 0 {
+		panic(fmt.Sprintf("cache: bad config %+v", cfg))
+	}
+	lines := cfg.Bytes / mem.LineBytes
+	if lines*mem.LineBytes != cfg.Bytes || lines%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache: %d bytes not divisible into %d-way sets of %d-byte lines",
+			cfg.Bytes, cfg.Ways, mem.LineBytes))
+	}
+	sets := lines / cfg.Ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
+	}
+	return &Cache{cfg: cfg, sets: sets, frames: make([]Line, lines)}
+}
+
+// NumFrames returns the number of line frames.
+func (c *Cache) NumFrames() int { return len(c.frames) }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+// setOf returns the set index for a line address.
+func (c *Cache) setOf(line mem.Addr) int {
+	return int(line/mem.LineBytes) & (c.sets - 1)
+}
+
+// FrameOf returns the frame holding the given line address, or -1.
+func (c *Cache) FrameOf(line mem.Addr) FrameID {
+	line = mem.LineAddr(line)
+	set := c.setOf(line)
+	for w := 0; w < c.cfg.Ways; w++ {
+		f := set*c.cfg.Ways + w
+		if c.frames[f].Valid && c.frames[f].Tag == line {
+			return FrameID(f)
+		}
+	}
+	return -1
+}
+
+// Frame returns the line in frame f. The pointer stays valid until the
+// frame is reused; callers must not retain it across Insert calls.
+func (c *Cache) Frame(f FrameID) *Line { return &c.frames[f] }
+
+// Lookup returns the valid line holding addr's line, or nil. A successful
+// lookup refreshes LRU state and counts a hit; a failed one counts a miss.
+func (c *Cache) Lookup(addr mem.Addr) *Line {
+	if f := c.FrameOf(addr); f >= 0 {
+		c.Hits++
+		c.touch(f)
+		return &c.frames[f]
+	}
+	c.Misses++
+	return nil
+}
+
+// Peek returns the valid line holding addr's line without touching LRU or
+// counters. Hierarchy-internal probes (directory checks, WB traversals) use
+// Peek so they do not perturb replacement or hit statistics.
+func (c *Cache) Peek(addr mem.Addr) *Line {
+	if f := c.FrameOf(addr); f >= 0 {
+		return &c.frames[f]
+	}
+	return nil
+}
+
+func (c *Cache) touch(f FrameID) {
+	c.clock++
+	c.frames[f].lru = c.clock
+}
+
+// Victim selects the frame an insertion of line addr would use: an invalid
+// way if one exists, else the LRU way of the set. It does not modify the
+// cache.
+func (c *Cache) Victim(addr mem.Addr) FrameID {
+	set := c.setOf(mem.LineAddr(addr))
+	best := FrameID(set * c.cfg.Ways)
+	for w := 0; w < c.cfg.Ways; w++ {
+		f := FrameID(set*c.cfg.Ways + w)
+		if !c.frames[f].Valid {
+			return f
+		}
+		if c.frames[f].lru < c.frames[best].lru {
+			best = f
+		}
+	}
+	return best
+}
+
+// Insert installs a line with the given data and state, returning the frame
+// it landed in and, if a valid line was displaced, a copy of that victim.
+// The caller is responsible for writing back the victim's dirty words; the
+// WritebacksOnEvict counter tracks how often that was needed.
+func (c *Cache) Insert(line mem.Addr, words *[mem.WordsPerLine]mem.Word, st State) (FrameID, *Line) {
+	line = mem.LineAddr(line)
+	if f := c.FrameOf(line); f >= 0 {
+		panic(fmt.Sprintf("cache: Insert of already-present line %#x", uint32(line)))
+	}
+	f := c.Victim(line)
+	var victim *Line
+	if c.frames[f].Valid {
+		v := c.frames[f] // copy
+		victim = &v
+		c.Evictions++
+		if v.IsDirty() {
+			c.WritebacksOnEvict++
+		}
+	}
+	c.frames[f] = Line{Tag: line, Valid: true, State: st, Words: *words}
+	c.touch(f)
+	return f, victim
+}
+
+// InvalidateFrame clears frame f. The caller must have dealt with dirty
+// data first (written it back or deliberately dropped it).
+func (c *Cache) InvalidateFrame(f FrameID) {
+	c.frames[f] = Line{}
+}
+
+// Invalidate removes addr's line if present, returning a copy of the line
+// as it was (so the caller can write back dirty words), or nil.
+func (c *Cache) Invalidate(addr mem.Addr) *Line {
+	f := c.FrameOf(addr)
+	if f < 0 {
+		return nil
+	}
+	v := c.frames[f]
+	c.frames[f] = Line{}
+	return &v
+}
+
+// ForEachValid calls fn for every valid line. fn may mutate the line (for
+// example, clear dirty bits during a full writeback) but must not insert or
+// invalidate.
+func (c *Cache) ForEachValid(fn func(f FrameID, l *Line)) {
+	for i := range c.frames {
+		if c.frames[i].Valid {
+			fn(FrameID(i), &c.frames[i])
+		}
+	}
+}
+
+// CountValid returns the number of valid lines.
+func (c *Cache) CountValid() int {
+	n := 0
+	for i := range c.frames {
+		if c.frames[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// CountDirty returns the number of lines with at least one dirty word.
+func (c *Cache) CountDirty() int {
+	n := 0
+	for i := range c.frames {
+		if c.frames[i].IsDirty() {
+			n++
+		}
+	}
+	return n
+}
+
+// FlashInvalidate clears every valid line, calling drain first on each
+// line that has dirty words so the caller can save them. It returns the
+// number of lines invalidated. This is the INV ALL primitive; per Section
+// III-B, dirty data is never lost by INV.
+func (c *Cache) FlashInvalidate(drain func(l *Line)) int {
+	n := 0
+	for i := range c.frames {
+		if !c.frames[i].Valid {
+			continue
+		}
+		if c.frames[i].IsDirty() && drain != nil {
+			drain(&c.frames[i])
+		}
+		c.frames[i] = Line{}
+		n++
+	}
+	return n
+}

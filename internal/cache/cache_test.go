@@ -1,0 +1,227 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func l1() *Cache { return New(Config{Bytes: 32 << 10, Ways: 4}) } // Table III private L1
+
+func lineWords(seed mem.Word) *[mem.WordsPerLine]mem.Word {
+	var w [mem.WordsPerLine]mem.Word
+	for i := range w {
+		w[i] = seed + mem.Word(i)
+	}
+	return &w
+}
+
+func TestGeometry(t *testing.T) {
+	c := l1()
+	if c.NumFrames() != 512 {
+		t.Errorf("frames = %d, want 512", c.NumFrames())
+	}
+	if c.Sets() != 128 || c.Ways() != 4 {
+		t.Errorf("sets/ways = %d/%d", c.Sets(), c.Ways())
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	cases := []Config{
+		{Bytes: 0, Ways: 4},
+		{Bytes: 100, Ways: 4},        // not line-divisible
+		{Bytes: 3 * 64 * 4, Ways: 4}, // 3 sets: not a power of two
+	}
+	for _, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestLookupInsert(t *testing.T) {
+	c := l1()
+	if c.Lookup(0x1000) != nil {
+		t.Fatal("empty cache should miss")
+	}
+	if c.Misses != 1 {
+		t.Errorf("misses = %d", c.Misses)
+	}
+	f, victim := c.Insert(0x1000, lineWords(7), StateNone)
+	if victim != nil {
+		t.Error("insert into empty set should not evict")
+	}
+	if got := c.Frame(f).Tag; got != 0x1000 {
+		t.Errorf("tag = %#x", got)
+	}
+	l := c.Lookup(0x1004) // any address within the line
+	if l == nil {
+		t.Fatal("should hit after insert")
+	}
+	if l.Words[1] != 8 {
+		t.Errorf("word value = %d", l.Words[1])
+	}
+	if c.Hits != 1 {
+		t.Errorf("hits = %d", c.Hits)
+	}
+}
+
+func TestInsertDuplicatePanics(t *testing.T) {
+	c := l1()
+	c.Insert(0x40, lineWords(0), StateNone)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate insert should panic")
+		}
+	}()
+	c.Insert(0x40, lineWords(0), StateNone)
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(Config{Bytes: 2 * 64 * 2, Ways: 2}) // 2 sets × 2 ways
+	// Three lines mapping to set 0: line addresses 0, 128, 256.
+	c.Insert(0, lineWords(1), StateNone)
+	c.Insert(128, lineWords(2), StateNone)
+	c.Lookup(0) // make line 0 MRU
+	_, victim := c.Insert(256, lineWords(3), StateNone)
+	if victim == nil || victim.Tag != 128 {
+		t.Fatalf("victim = %+v, want tag 128 (LRU)", victim)
+	}
+	if c.Peek(0) == nil || c.Peek(256) == nil || c.Peek(128) != nil {
+		t.Error("post-eviction contents wrong")
+	}
+}
+
+func TestVictimPrefersInvalidWay(t *testing.T) {
+	c := New(Config{Bytes: 2 * 64 * 2, Ways: 2})
+	c.Insert(0, lineWords(1), StateNone)
+	f := c.Victim(128)
+	if c.Frame(f).Valid {
+		t.Error("victim should be the invalid way")
+	}
+}
+
+func TestDirtyEvictionCounted(t *testing.T) {
+	c := New(Config{Bytes: 1 * 64 * 1, Ways: 1}) // direct-mapped single line
+	c.Insert(0, lineWords(1), StateNone)
+	c.Frame(c.FrameOf(0)).Dirty = mem.Bit(3)
+	_, victim := c.Insert(64, lineWords(2), StateNone)
+	if victim == nil || !victim.IsDirty() {
+		t.Fatal("dirty victim should be returned dirty")
+	}
+	if c.WritebacksOnEvict != 1 {
+		t.Errorf("WritebacksOnEvict = %d", c.WritebacksOnEvict)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := l1()
+	c.Insert(0x80, lineWords(9), StateNone)
+	v := c.Invalidate(0x80)
+	if v == nil || v.Tag != 0x80 || v.Words[0] != 9 {
+		t.Fatalf("invalidate returned %+v", v)
+	}
+	if c.Peek(0x80) != nil {
+		t.Error("line still present after invalidate")
+	}
+	if c.Invalidate(0x80) != nil {
+		t.Error("second invalidate should return nil")
+	}
+}
+
+func TestPeekDoesNotCount(t *testing.T) {
+	c := l1()
+	c.Peek(0x40)
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Error("Peek must not count hits or misses")
+	}
+}
+
+func TestFlashInvalidateDrainsDirty(t *testing.T) {
+	c := l1()
+	c.Insert(0, lineWords(1), StateNone)
+	c.Insert(64, lineWords(2), StateNone)
+	c.Frame(c.FrameOf(64)).Dirty = mem.FullMask
+	var drained []mem.Addr
+	n := c.FlashInvalidate(func(l *Line) { drained = append(drained, l.Tag) })
+	if n != 2 {
+		t.Errorf("invalidated %d lines", n)
+	}
+	if len(drained) != 1 || drained[0] != 64 {
+		t.Errorf("drained = %v, want [64]", drained)
+	}
+	if c.CountValid() != 0 {
+		t.Error("cache not empty after flash invalidate")
+	}
+}
+
+func TestCountDirty(t *testing.T) {
+	c := l1()
+	c.Insert(0, lineWords(1), StateNone)
+	c.Insert(64, lineWords(2), StateNone)
+	c.Frame(c.FrameOf(0)).Dirty = mem.Bit(0)
+	if c.CountValid() != 2 || c.CountDirty() != 1 {
+		t.Errorf("valid=%d dirty=%d", c.CountValid(), c.CountDirty())
+	}
+}
+
+// Property: after any sequence of inserts, each set holds at most Ways
+// valid lines and every valid tag maps to its own set.
+func TestSetInvariant(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := New(Config{Bytes: 4 * 64 * 2, Ways: 2})
+		for _, a := range addrs {
+			line := mem.LineAddr(mem.Addr(a))
+			if c.Peek(line) == nil {
+				c.Insert(line, lineWords(mem.Word(a)), StateNone)
+			}
+		}
+		perSet := make(map[int]int)
+		ok := true
+		c.ForEachValid(func(_ FrameID, l *Line) {
+			set := int(l.Tag/mem.LineBytes) % c.Sets()
+			perSet[set]++
+			if c.FrameOf(l.Tag) < 0 {
+				ok = false
+			}
+		})
+		for _, n := range perSet {
+			if n > c.Ways() {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a line just inserted is always findable until something else
+// maps to its set and evicts it; Lookup of present lines preserves values.
+func TestInsertThenLookupValueFidelity(t *testing.T) {
+	f := func(seed uint16) bool {
+		c := l1()
+		base := mem.LineAddr(mem.Addr(seed) * 64)
+		c.Insert(base, lineWords(mem.Word(seed)), StateNone)
+		l := c.Lookup(base + 32)
+		return l != nil && l.Words[8] == mem.Word(seed)+8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{StateNone: "-", Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M"} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q", st, st.String())
+		}
+	}
+}

@@ -1,0 +1,541 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// flatLoop is one loop occurrence in the flattened interprocedural control
+// flow: its position in program order and whether it sits inside a time
+// loop (whose back edge makes every loop in the region reach every other).
+type flatLoop struct {
+	loop   *Loop
+	index  int
+	region int // -1 outside any TimeLoop, else TimeLoop ordinal
+}
+
+// flatten linearizes the statement list.
+func flatten(stmts []Stmt, region int, nextRegion *int, out *[]flatLoop) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Loop:
+			*out = append(*out, flatLoop{loop: s, index: len(*out), region: region})
+		case *TimeLoop:
+			r := *nextRegion
+			*nextRegion++
+			flatten(s.Body, r, nextRegion, out)
+		default:
+			panic(fmt.Sprintf("compiler: unknown statement %T", s))
+		}
+	}
+}
+
+// Annotation is one WB or INV insertion: a set of element ranges plus the
+// peer thread for the level-adaptive instruction form. Multi marks pieces
+// with more than one peer (or no identifiable peer, as after reductions),
+// which lower to the conservative global instructions.
+type Annotation struct {
+	Ranges []mem.Range
+	Peer   int
+	Multi  bool
+}
+
+// InspectorPlan describes one irregular read requiring a runtime
+// inspector: for each consumer iteration the lowered code computes the
+// producing thread of the element it reads (from the producer's static
+// schedule) and issues a conditional INV before the read.
+type InspectorPlan struct {
+	ReadIdx int
+	// OwnerOf maps an element of the read array to the thread that
+	// produces it (derived from the producer loop's chunk distribution).
+	OwnerOf func(elem int) int
+}
+
+// LoopPlan is the instrumentation computed for one loop.
+type LoopPlan struct {
+	// WBOut[t] are the writebacks thread t issues at the loop's epoch
+	// end; INVIn[t] are the invalidations it issues at epoch start.
+	WBOut, INVIn [][]Annotation
+	// Inspectors are the loop's irregular reads.
+	Inspectors []InspectorPlan
+	// ReductionElems, for reduction loops, is the set of target element
+	// ranges a thread may touch (used by the lowering's locked merge).
+	ReductionElems []mem.Range
+}
+
+// Plan is the full compilation result.
+type Plan struct {
+	Prog    *Program
+	Threads int
+	Loops   map[*Loop]*LoopPlan
+	// GlobalWBElems/GlobalINVElems count the analyzed elements that could
+	// not be level-adapted (diagnostics).
+	flat []flatLoop
+}
+
+// chunkOwner returns the owner of iteration i of loop l.
+func chunkOwner(l *Loop, i, threads int) int {
+	if !l.Parallel {
+		return 0
+	}
+	return workload.OwnerOf(l.Hi-l.Lo, i-l.Lo, threads)
+}
+
+// iterRange returns thread t's iterations of loop l.
+func iterRange(l *Loop, t, threads int) (lo, hi int) {
+	if !l.Parallel {
+		if t == 0 {
+			return l.Lo, l.Hi
+		}
+		return l.Lo, l.Lo
+	}
+	clo, chi := workload.ChunkOf(l.Hi-l.Lo, t, threads)
+	return l.Lo + clo, l.Lo + chi
+}
+
+// writeFoot returns loop l's written elements per array: array -> elem ->
+// writer thread. Reduction targets are excluded (they are handled by the
+// reduction fallback, not producer-consumer pairing).
+func writeFoot(l *Loop, threads int) map[string]map[int]int {
+	foot := make(map[string]map[int]int)
+	for t := 0; t < threads; t++ {
+		lo, hi := iterRange(l, t, threads)
+		for i := lo; i < hi; i++ {
+			for _, w := range l.Writes {
+				m, ok := foot[w.Array]
+				if !ok {
+					m = make(map[int]int)
+					foot[w.Array] = m
+				}
+				m[w.At(i)] = t
+			}
+		}
+	}
+	return foot
+}
+
+// Analyze compiles prog for the given thread count: it builds the control
+// flow, extracts producer-consumer epoch pairs via DEF-USE over the
+// numeric access footprints, plans inspectors for irregular reads, and
+// records reduction fallbacks.
+func Analyze(prog *Program, threads int) *Plan {
+	var flat []flatLoop
+	nextRegion := 0
+	flatten(prog.Stmts, -1, &nextRegion, &flat)
+
+	plan := &Plan{Prog: prog, Threads: threads, Loops: make(map[*Loop]*LoopPlan), flat: flat}
+	for _, fl := range flat {
+		lp := &LoopPlan{
+			WBOut: make([][]Annotation, threads),
+			INVIn: make([][]Annotation, threads),
+		}
+		plan.Loops[fl.loop] = lp
+		if r := fl.loop.Reduction; r != nil {
+			elems := map[int]bool{}
+			for i := fl.loop.Lo; i < fl.loop.Hi; i++ {
+				elems[r.At(i)] = true
+			}
+			lp.ReductionElems = elemsToRanges(prog.Arrays[r.Array], elems)
+		}
+	}
+
+	// Precompute write footprints.
+	foots := make([]map[string]map[int]int, len(flat))
+	for i, fl := range flat {
+		foots[i] = writeFoot(fl.loop, threads)
+	}
+
+	for ci, cf := range flat {
+		cons := cf.loop
+		for ri, rd := range cons.Reads {
+			sameIter, backEdge, outside := plan.reachableProducers(ci, rd.Array, foots)
+			if len(sameIter)+len(backEdge)+len(outside) == 0 {
+				continue
+			}
+			if rd.Indirect {
+				// Inspector-executor: the compiler cannot see the
+				// footprint; derive the element-owner function from the
+				// producers' static schedules. When the steady-state
+				// (back-edge) writer and the first-iteration writer of an
+				// element belong to different threads, the owner is
+				// reported as OwnerUnknown and the lowering invalidates
+				// globally.
+				owner := plan.ownerFunc(rd.Array, sameIter, backEdge, outside, foots)
+				lp := plan.Loops[cons]
+				lp.Inspectors = append(lp.Inspectors, InspectorPlan{ReadIdx: ri, OwnerOf: owner})
+				// Producer side: every reaching producer writes its whole
+				// footprint to L3 (Section V-A.2: exact consumer analysis
+				// of indirect reads is skipped).
+				for _, pf := range concat(sameIter, backEdge, outside) {
+					plan.addProducerGlobalWB(pf.loop, rd.Array, foots[pf.index][rd.Array])
+				}
+				continue
+			}
+			plan.pairDirect(ci, ri, sameIter, backEdge, outside, foots)
+		}
+		// Reduction consumers: any loop reading an array that a reachable
+		// reduction targets gets a conservative global INV of the read
+		// footprint (no producer-consumer order exists).
+		for ri, rd := range cons.Reads {
+			if rd.Indirect {
+				continue
+			}
+			for _, pf := range flat {
+				if pf.loop.Reduction == nil || pf.loop == cons {
+					continue
+				}
+				if pf.loop.Reduction.Array != rd.Array || !plan.reaches(pf.index, ci) {
+					continue
+				}
+				redElems := map[int]bool{}
+				for i := pf.loop.Lo; i < pf.loop.Hi; i++ {
+					redElems[pf.loop.Reduction.At(i)] = true
+				}
+				for u := 0; u < threads; u++ {
+					lo, hi := iterRange(cons, u, threads)
+					elems := map[int]bool{}
+					for i := lo; i < hi; i++ {
+						if e := rd.At(i); redElems[e] {
+							elems[e] = true
+						}
+					}
+					if len(elems) == 0 {
+						continue
+					}
+					plan.Loops[cons].INVIn[u] = append(plan.Loops[cons].INVIn[u], Annotation{
+						Ranges: elemsToRanges(prog.Arrays[rd.Array], elems),
+						Multi:  true,
+					})
+				}
+				_ = ri
+			}
+		}
+	}
+	return plan
+}
+
+// reaches reports whether loop at flat index p can feed loop at flat index
+// c: program order, or both inside the same time-loop region (back edge).
+func (pl *Plan) reaches(p, c int) bool {
+	if p < c {
+		return true
+	}
+	return pl.flat[p].region >= 0 && pl.flat[p].region == pl.flat[c].region
+}
+
+// reachableProducers classifies the producers of array reaching consumer
+// ci by dependence distance, each group nearest-first:
+//
+//   - sameIter: producers earlier in the same time-loop iteration (or in
+//     straight-line code before the consumer inside the same region) —
+//     these kill everything older;
+//   - backEdge: producers later in the region, feeding the consumer via
+//     the time loop's back edge (steady-state source from iteration 2 on);
+//   - outside: producers before the consumer's region (the source on the
+//     first iteration when no sameIter producer writes the element).
+func (pl *Plan) reachableProducers(ci int, array string, foots []map[string]map[int]int) (sameIter, backEdge, outside []flatLoop) {
+	creg := pl.flat[ci].region
+	for pi, pf := range pl.flat {
+		if pi == ci {
+			continue
+		}
+		if _, writes := foots[pi][array]; !writes {
+			continue
+		}
+		switch {
+		case pf.region == creg && pi < ci:
+			sameIter = append(sameIter, pf)
+		case creg >= 0 && pf.region == creg:
+			backEdge = append(backEdge, pf)
+		case pi < ci:
+			outside = append(outside, pf)
+		}
+	}
+	sort.Slice(sameIter, func(a, b int) bool { return sameIter[a].index > sameIter[b].index })
+	sort.Slice(backEdge, func(a, b int) bool { return backEdge[a].index > backEdge[b].index })
+	sort.Slice(outside, func(a, b int) bool { return outside[a].index > outside[b].index })
+	return sameIter, backEdge, outside
+}
+
+func concat(groups ...[]flatLoop) []flatLoop {
+	var out []flatLoop
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+// producerSrc identifies one producer occurrence.
+type producerSrc struct{ pi, t int }
+
+// candidateProducers returns the producer occurrences that can be the
+// last writer of element e at some dynamic consumption: if a same-
+// iteration producer writes e it is the unique candidate; otherwise the
+// nearest back-edge writer (iterations ≥ 2) and the nearest preceding
+// outside writer (iteration 1) are both candidates.
+func candidateProducers(e int, array string, sameIter, backEdge, outside []flatLoop, foots []map[string]map[int]int) []producerSrc {
+	for _, pf := range sameIter {
+		if t, ok := foots[pf.index][array][e]; ok {
+			return []producerSrc{{pf.index, t}}
+		}
+	}
+	var out []producerSrc
+	for _, pf := range backEdge {
+		if t, ok := foots[pf.index][array][e]; ok {
+			out = append(out, producerSrc{pf.index, t})
+			break
+		}
+	}
+	for _, pf := range outside {
+		if t, ok := foots[pf.index][array][e]; ok {
+			out = append(out, producerSrc{pf.index, t})
+			break
+		}
+	}
+	return out
+}
+
+// OwnerUnknown is returned by an inspector's OwnerOf when an element's
+// possible last writers belong to different threads; the lowering then
+// invalidates globally.
+const OwnerUnknown = -2
+
+// ownerFunc builds the inspector's element-owner function.
+func (pl *Plan) ownerFunc(array string, sameIter, backEdge, outside []flatLoop, foots []map[string]map[int]int) func(int) int {
+	return func(e int) int {
+		cands := candidateProducers(e, array, sameIter, backEdge, outside, foots)
+		if len(cands) == 0 {
+			return OwnerUnknown
+		}
+		t := cands[0].t
+		for _, c := range cands[1:] {
+			if c.t != t {
+				return OwnerUnknown
+			}
+		}
+		return t
+	}
+}
+
+// pairDirect extracts producer-consumer pairs for a direct (affine) read:
+// for each consumer thread, each element is attributed to its candidate
+// last writers (DEF-USE with kills across the back edge), then grouped
+// into per-(producer-thread, consumer-thread) ranges yielding WB_CONS at
+// the producer and INV_PROD at the consumer. Elements whose candidate
+// writers span several threads lower to conservative global instructions.
+func (pl *Plan) pairDirect(ci, ri int, sameIter, backEdge, outside []flatLoop, foots []map[string]map[int]int) {
+	cons := pl.flat[ci].loop
+	rd := cons.Reads[ri]
+	arr := pl.Prog.Arrays[rd.Array]
+
+	elemCands := make(map[int][]producerSrc)
+	for u := 0; u < pl.Threads; u++ {
+		lo, hi := iterRange(cons, u, pl.Threads)
+		invElems := make(map[producerSrc]map[int]bool) // single-writer pieces
+		multiElems := make(map[int]bool)               // conflicting-writer pieces
+		for i := lo; i < hi; i++ {
+			e := rd.At(i)
+			cands, ok := elemCands[e]
+			if !ok {
+				cands = candidateProducers(e, rd.Array, sameIter, backEdge, outside, foots)
+				elemCands[e] = cands
+			}
+			switch {
+			case len(cands) == 0:
+				// Never-written (initial) data: nothing to communicate.
+			case allSameThread(cands):
+				if cands[0].t == u {
+					continue // produced by this thread: no communication
+				}
+				s := producerSrc{cands[0].pi, cands[0].t}
+				m, ok := invElems[s]
+				if !ok {
+					m = make(map[int]bool)
+					invElems[s] = m
+				}
+				m[e] = true
+			default:
+				multiElems[e] = true
+			}
+		}
+		// WB side: every candidate occurrence must write back the
+		// elements this consumer reads from it (the outside producer
+		// feeds the first iteration, the back-edge one the rest).
+		wbElems := make(map[producerSrc]map[int]bool)
+		note := func(e int) {
+			for _, c := range elemCands[e] {
+				m, ok := wbElems[c]
+				if !ok {
+					m = make(map[int]bool)
+					wbElems[c] = m
+				}
+				m[e] = true
+			}
+		}
+		for s, elems := range invElems {
+			ranges := elemsToRanges(arr, elems)
+			pl.Loops[cons].INVIn[u] = append(pl.Loops[cons].INVIn[u], Annotation{Ranges: ranges, Peer: s.t})
+			for e := range elems {
+				note(e)
+			}
+		}
+		if len(multiElems) > 0 {
+			pl.Loops[cons].INVIn[u] = append(pl.Loops[cons].INVIn[u], Annotation{
+				Ranges: elemsToRanges(arr, multiElems), Multi: true,
+			})
+			for e := range multiElems {
+				note(e)
+			}
+		}
+		for c, elems := range wbElems {
+			pl.addWB(pl.flat[c.pi].loop, c.t, u, elemsToRanges(arr, elems))
+		}
+	}
+	sortAnnotations(pl.Loops[cons].INVIn)
+}
+
+func allSameThread(cands []producerSrc) bool {
+	for _, c := range cands[1:] {
+		if c.t != cands[0].t {
+			return false
+		}
+	}
+	return true
+}
+
+// addWB records that producer thread t must write back ranges for
+// consumer thread u at the end of loop prod. A range read by up to two
+// distinct consumers gets one WB_CONS per consumer (the two-neighbor case
+// of boundary exchange; the second WB finds the L1 line already clean and
+// only moves data deeper if its consumer's level requires it). A range
+// with more than two consumers is a broadcast and collapses into a single
+// conservative global annotation, matching the paper's serial-section
+// handling ("the producer writes back the data to the last level cache").
+func (pl *Plan) addWB(prod *Loop, t, u int, ranges []mem.Range) {
+	lp := pl.Loops[prod]
+	out := lp.WBOut[t]
+	for _, r := range ranges {
+		peers := map[int]bool{}
+		first := -1
+		for k := range out {
+			for _, have := range out[k].Ranges {
+				if have == r {
+					if first < 0 {
+						first = k
+					}
+					if out[k].Multi {
+						peers[multiPeerSentinel] = true
+					} else {
+						peers[out[k].Peer] = true
+					}
+				}
+			}
+		}
+		switch {
+		case peers[multiPeerSentinel] || peers[u]:
+			// Already covered (globally, or for this consumer).
+		case len(peers) >= 2:
+			// Third distinct consumer: collapse to one global annotation.
+			kept := out[:0]
+			for _, ann := range out {
+				if len(ann.Ranges) == 1 && ann.Ranges[0] == r {
+					continue
+				}
+				kept = append(kept, ann)
+			}
+			out = append(kept, Annotation{Ranges: []mem.Range{r}, Multi: true})
+		default:
+			out = append(out, Annotation{Ranges: []mem.Range{r}, Peer: u})
+		}
+	}
+	lp.WBOut[t] = out
+	sortAnnotations(lp.WBOut)
+}
+
+// multiPeerSentinel marks a collapsed multi-consumer annotation in peer
+// sets (never a valid thread ID).
+const multiPeerSentinel = -1
+
+// addProducerGlobalWB records a whole-footprint global writeback for
+// producer threads feeding an irregular consumer.
+func (pl *Plan) addProducerGlobalWB(prod *Loop, array string, foot map[int]int) {
+	perThread := make(map[int]map[int]bool)
+	for e, t := range foot {
+		m, ok := perThread[t]
+		if !ok {
+			m = make(map[int]bool)
+			perThread[t] = m
+		}
+		m[e] = true
+	}
+	lp := pl.Loops[prod]
+	arr := pl.Prog.Arrays[array]
+	for t, elems := range perThread {
+		ann := Annotation{Ranges: elemsToRanges(arr, elems), Multi: true}
+		// Avoid duplicating an identical fallback annotation.
+		dup := false
+		for _, have := range lp.WBOut[t] {
+			if have.Multi && rangesEqual(have.Ranges, ann.Ranges) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			lp.WBOut[t] = append(lp.WBOut[t], ann)
+		}
+	}
+	sortAnnotations(lp.WBOut)
+}
+
+func rangesEqual(a, b []mem.Range) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// elemsToRanges coalesces an element set into maximal consecutive byte
+// ranges of the array.
+func elemsToRanges(arr workload.Array, elems map[int]bool) []mem.Range {
+	if len(elems) == 0 {
+		return nil
+	}
+	idx := make([]int, 0, len(elems))
+	for e := range elems {
+		idx = append(idx, e)
+	}
+	sort.Ints(idx)
+	var out []mem.Range
+	start, prev := idx[0], idx[0]
+	for _, e := range idx[1:] {
+		if e == prev+1 {
+			prev = e
+			continue
+		}
+		out = append(out, arr.Slice(start, prev-start+1))
+		start, prev = e, e
+	}
+	out = append(out, arr.Slice(start, prev-start+1))
+	return out
+}
+
+// sortAnnotations keeps annotation lists in a deterministic order.
+func sortAnnotations(per [][]Annotation) {
+	for _, anns := range per {
+		sort.Slice(anns, func(a, b int) bool {
+			ra, rb := anns[a].Ranges[0], anns[b].Ranges[0]
+			if ra.Base != rb.Base {
+				return ra.Base < rb.Base
+			}
+			return anns[a].Peer < anns[b].Peer
+		})
+	}
+}

@@ -1,0 +1,160 @@
+// Package compiler implements Programming Model 2 (Section V): an
+// OpenMP-like parallel intermediate representation, the interprocedural
+// control-flow and DEF-USE dataflow analysis that extracts producer-
+// consumer epoch pairs under static chunk scheduling, the inspector-
+// executor transformation for irregular (indirectly indexed) accesses, and
+// the lowering that instruments the program with WB_CONS/INV_PROD (or the
+// simpler Base/Addr instruction choices of Table II's inter-block
+// configurations).
+//
+// The analysis evaluates access footprints numerically — the exact
+// information a polyhedral/ROSE-style pass derives symbolically — and has
+// the same capability boundaries the paper reports: affine accesses are
+// fully analyzed, indirect accesses require a runtime inspector, and
+// reductions admit no producer-consumer pairing at all, so they fall back
+// to global writebacks and invalidations.
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// Program is one parallel program: named arrays plus a statement list.
+// Statements execute in order; a TimeLoop repeats its body, creating the
+// cross-iteration dependences typical of iterative solvers.
+type Program struct {
+	Name   string
+	arena  *mem.Arena
+	Arrays map[string]workload.Array
+	Stmts  []Stmt
+}
+
+// NewProgram returns an empty program with its own address arena.
+func NewProgram(name string) *Program {
+	return &Program{
+		Name:   name,
+		arena:  mem.NewArena(4096),
+		Arrays: make(map[string]workload.Array),
+	}
+}
+
+// Array declares (or returns) a named array of n words.
+func (p *Program) Array(name string, n int) workload.Array {
+	if a, ok := p.Arrays[name]; ok {
+		if a.Len != n {
+			panic(fmt.Sprintf("compiler: array %q redeclared with length %d != %d", name, n, a.Len))
+		}
+		return a
+	}
+	a := workload.NewArray(p.arena, n)
+	p.Arrays[name] = a
+	return a
+}
+
+// Add appends statements.
+func (p *Program) Add(ss ...Stmt) { p.Stmts = append(p.Stmts, ss...) }
+
+// Stmt is a program statement.
+type Stmt interface{ isStmt() }
+
+// Read is one read access of a loop iteration.
+type Read struct {
+	Array string
+	// At gives the element read at iteration i. For direct (affine)
+	// accesses the compiler evaluates it to build footprints.
+	At func(i int) int
+	// Indirect marks a data-dependent subscript (e.g. p[colidx[k]]): the
+	// compiler cannot evaluate the footprint and generates an inspector.
+	// At still defines the runtime semantics (the lowered code reads the
+	// index array through the cache hierarchy separately).
+	Indirect bool
+	// IndexArray and IndexAt describe the subscript source for indirect
+	// reads: element = value of IndexArray[IndexAt(i)].
+	IndexArray string
+	IndexAt    func(i int) int
+}
+
+// Write is one write access of a loop iteration.
+type Write struct {
+	Array string
+	At    func(i int) int
+}
+
+// Loop is a (possibly parallel) counted loop over [Lo, Hi). Parallel loops
+// use OpenMP static chunk scheduling: iterations are split into
+// NumThreads consecutive chunks and chunk t runs on thread t (Section
+// V-A.1's assumed distribution). Serial loops run entirely on thread 0.
+// Every loop ends with an implicit barrier.
+type Loop struct {
+	Name     string
+	Parallel bool
+	Lo, Hi   int
+	Reads    []Read
+	Writes   []Write
+	// Body computes the written values for iteration i. read(r) returns
+	// the current value of Reads[r]'s element.
+	Body func(i int, read func(r int) mem.Word) []mem.Word
+	// WorkCycles models the iteration's non-memory computation.
+	WorkCycles int64
+	// Reduction, when set, makes the loop a reduction: Body's single
+	// result is accumulated into Reduction.Array[Reduction.At(i)] with a
+	// commutative add. Reductions have no ordering, so no producer-
+	// consumer pairs exist (Section VII-C's EP/IS discussion).
+	Reduction *Reduction
+}
+
+// Reduction describes a reduction target.
+type Reduction struct {
+	Array string
+	At    func(i int) int
+	// BlockLocal marks a hierarchical-reduction rewrite (the paper's
+	// Section VII-C suggestion for EP/IS): the programmer guarantees that
+	// each target element is touched only by threads of one block, so the
+	// merge critical section can use block-local WB/INV and a per-block
+	// lock. BlockOf must then map a thread ID to its block.
+	BlockLocal bool
+	BlockOf    func(thread int) int
+}
+
+func (*Loop) isStmt() {}
+
+// TimeLoop repeats Body statements Iters times (an outer sequential
+// iteration, as in Jacobi or CG).
+type TimeLoop struct {
+	Iters int
+	Body  []Stmt
+}
+
+func (*TimeLoop) isStmt() {}
+
+// Mode selects a Table II inter-block configuration.
+type Mode int
+
+const (
+	// ModeHCC inserts nothing (hardware coherence).
+	ModeHCC Mode = iota
+	// ModeBase surrounds every epoch with WB ALL to L3 and INV ALL from
+	// L2.
+	ModeBase
+	// ModeAddr writes back and invalidates the analyzed address ranges,
+	// always globally (to L3 / from L2).
+	ModeAddr
+	// ModeAddrL uses the level-adaptive WB_CONS and INV_PROD
+	// instructions.
+	ModeAddrL
+)
+
+var modeNames = [...]string{"HCC", "Base", "Addr", "Addr+L"}
+
+func (m Mode) String() string {
+	if m < 0 || int(m) >= len(modeNames) {
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+	return modeNames[m]
+}
+
+// Modes lists the inter-block configurations in Figure 12's bar order.
+var Modes = []Mode{ModeHCC, ModeBase, ModeAddr, ModeAddrL}

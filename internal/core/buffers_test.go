@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+func TestMEBRecordDedup(t *testing.T) {
+	b := NewMEB(4)
+	b.Record(1)
+	b.Record(1)
+	b.Record(2)
+	if b.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (duplicates filtered)", b.Len())
+	}
+	if !b.Valid() {
+		t.Error("buffer should be valid")
+	}
+}
+
+func TestMEBOverflow(t *testing.T) {
+	b := NewMEB(2)
+	b.Record(1)
+	b.Record(2)
+	if over := b.Record(3); !over {
+		t.Error("third distinct record should overflow")
+	}
+	if b.Valid() {
+		t.Error("overflowed buffer must be invalid")
+	}
+	// After overflow, records are ignored but counted.
+	b.Record(4)
+	if b.Records != 4 {
+		t.Errorf("Records = %d", b.Records)
+	}
+	b.Clear()
+	if !b.Valid() || b.Len() != 0 {
+		t.Error("Clear should restore validity")
+	}
+}
+
+// Property: a non-overflowed MEB contains exactly the set of distinct
+// frames recorded since the last Clear.
+func TestMEBContentsProperty(t *testing.T) {
+	f := func(frames []uint8) bool {
+		b := NewMEB(16)
+		want := map[cache.FrameID]bool{}
+		for _, fr := range frames {
+			id := cache.FrameID(fr % 64)
+			b.Record(id)
+			want[id] = true
+			if len(want) > 16 {
+				return !b.Valid()
+			}
+		}
+		if len(want) > 16 {
+			return !b.Valid()
+		}
+		if b.Len() != len(want) {
+			return false
+		}
+		for _, e := range b.Entries() {
+			if !want[e] {
+				return false
+			}
+		}
+		return b.Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIEBFIFOEviction(t *testing.T) {
+	b := NewIEB(2)
+	b.Arm()
+	b.Insert(0x00)
+	b.Insert(0x40)
+	if ev := b.Insert(0x80); !ev {
+		t.Error("third insert should evict")
+	}
+	if b.Contains(0x00) {
+		t.Error("oldest entry should have been evicted (FIFO)")
+	}
+	if !b.Contains(0x40) || !b.Contains(0x80) {
+		t.Error("younger entries should remain")
+	}
+}
+
+func TestIEBArmDisarmClears(t *testing.T) {
+	b := NewIEB(4)
+	b.Arm()
+	b.Insert(0x40)
+	if !b.Armed() || !b.Contains(0x40) {
+		t.Error("armed buffer should track lines")
+	}
+	b.Disarm()
+	if b.Armed() || b.Contains(0x40) {
+		t.Error("disarm must clear the buffer")
+	}
+	b.Arm()
+	if b.Contains(0x40) {
+		t.Error("the IEB starts the epoch empty")
+	}
+}
+
+// Property: the IEB never holds more than its capacity and always
+// contains the most recent distinct inserts.
+func TestIEBRecencyProperty(t *testing.T) {
+	f := func(lines []uint8) bool {
+		b := NewIEB(4)
+		b.Arm()
+		var history []mem.Addr
+		for _, l := range lines {
+			a := mem.Addr(l) * 64
+			b.Insert(a)
+			history = append(history, a)
+		}
+		if b.Len() > 4 {
+			return false
+		}
+		// The last insert is always present.
+		if len(history) > 0 && !b.Contains(history[len(history)-1]) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferConstructorsValidate(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewMEB(0) },
+		func() { NewIEB(0) },
+		func() { NewMEB(-3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("nonpositive capacity should panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

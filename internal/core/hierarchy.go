@@ -1,0 +1,464 @@
+// Package core implements the paper's primary contribution: the
+// hardware-incoherent multiprocessor cache hierarchy and its management
+// support. Caches never snoop and there is no directory; data moves between
+// private and shared caches only under explicit writeback (WB) and
+// self-invalidation (INV) instructions (Section III). The package provides:
+//
+//   - all WB/INV flavors: address ranges, whole-cache ALL forms, the
+//     level-directed WB_L3/INV_L2 forms, and the level-adaptive
+//     WB_CONS/INV_PROD forms of Section V;
+//   - the Modified Entry Buffer (MEB) and Invalidated Entry Buffer (IEB)
+//     of Section IV-B;
+//   - the per-block ThreadMap table consulted by the level-adaptive
+//     instructions (Section V-B).
+//
+// The hierarchy is functional: caches carry real word values, so a missing
+// self-invalidation yields an observably stale read and a missing writeback
+// yields an observably lost update. Timing follows the cost model described
+// in DESIGN.md §3 on the shared topo.Machine.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Config sizes the hierarchy.
+type Config struct {
+	// L1 is each core's private cache; L2 is each block's shared cache
+	// (one logical cache per block, physically banked across the block's
+	// tiles for latency); L3 is the global shared cache, present only when
+	// the machine has L3 banks.
+	L1, L2, L3 cache.Config
+	// MEBEntries and IEBEntries enable the entry buffers when nonzero.
+	MEBEntries int
+	IEBEntries int
+	// BloomBits enables Ashby-style Bloom-signature selective
+	// self-invalidation when nonzero (BloomHashes defaults to 2): cores
+	// accumulate write signatures, publish them on release (SigPublish)
+	// and acquirers invalidate selectively (INVSig). See bloom.go.
+	BloomBits   int
+	BloomHashes int
+	// WriteThrough switches the L1s from write-back to write-through (the
+	// VIPS-style self-downgrade alternative discussed in Section VIII):
+	// every store immediately propagates its word to the shared L2, lines
+	// never hold dirty words, and WB instructions become no-ops. Stores
+	// are posted through the write buffer (no exposed latency) but each
+	// pays word-granular network traffic; no coalescing is modeled.
+	WriteThrough bool
+}
+
+// DefaultConfig returns the Table III cache sizes for machine m: 32 KB
+// 4-way L1s, 128 KB × cores-per-block 8-way block L2s, and 4 MB × banks
+// 8-way L3 when the machine is multi-block. The entry buffers are disabled;
+// experiment configurations enable them explicitly (Table II's B+M, B+I,
+// B+M+I).
+func DefaultConfig(m *topo.Machine) Config {
+	cfg := Config{
+		L1: cache.Config{Bytes: 32 << 10, Ways: 4},
+		L2: cache.Config{Bytes: (128 << 10) * m.CoresPerBlock, Ways: 8},
+	}
+	if m.L3Banks > 0 {
+		cfg.L3 = cache.Config{Bytes: (4 << 20) * m.L3Banks, Ways: 8}
+	}
+	return cfg
+}
+
+// Hierarchy is one hardware-incoherent cache hierarchy instance.
+type Hierarchy struct {
+	m   *topo.Machine
+	cfg Config
+
+	backing *mem.Memory
+	l1      []*cache.Cache // per core
+	l2      []*cache.Cache // per block
+	l3      *cache.Cache   // nil when the machine has no L3
+
+	meb []*MEB // per core, nil entries when disabled
+	ieb []*IEB // per core, nil entries when disabled
+
+	// threadMap[t] is the block that thread t runs in — the per-L2
+	// ThreadMap hardware table, filled by the runtime at spawn time.
+	threadMap []int
+
+	// bloom holds the optional Bloom-signature machinery (nil when
+	// disabled).
+	bloom *bloomState
+
+	ctr *stats.Counters
+}
+
+// New builds a hierarchy on machine m with config cfg and a fresh backing
+// memory. Threads are mapped identically to cores (thread t on core t).
+func New(m *topo.Machine, cfg Config) *Hierarchy {
+	h := &Hierarchy{
+		m:       m,
+		cfg:     cfg,
+		backing: mem.NewMemory(),
+		l1:      make([]*cache.Cache, m.NumCores()),
+		l2:      make([]*cache.Cache, m.Blocks),
+		meb:     make([]*MEB, m.NumCores()),
+		ieb:     make([]*IEB, m.NumCores()),
+		ctr:     stats.NewCounters(),
+	}
+	for c := range h.l1 {
+		h.l1[c] = cache.New(cfg.L1)
+		if cfg.MEBEntries > 0 {
+			h.meb[c] = NewMEB(cfg.MEBEntries)
+		}
+		if cfg.IEBEntries > 0 {
+			h.ieb[c] = NewIEB(cfg.IEBEntries)
+		}
+	}
+	for b := range h.l2 {
+		h.l2[b] = cache.New(cfg.L2)
+	}
+	if m.L3Banks > 0 {
+		if cfg.L3.Bytes == 0 {
+			panic("core: machine has L3 banks but config has no L3 cache")
+		}
+		h.l3 = cache.New(cfg.L3)
+	}
+	h.threadMap = make([]int, m.NumCores())
+	for t := range h.threadMap {
+		h.threadMap[t] = m.BlockOf(t)
+	}
+	if cfg.BloomBits > 0 {
+		hashes := cfg.BloomHashes
+		if hashes == 0 {
+			hashes = 2
+		}
+		h.bloom = newBloomState(m.NumCores(), cfg.BloomBits, hashes)
+	}
+	return h
+}
+
+// Machine returns the topology the hierarchy is built on.
+func (h *Hierarchy) Machine() *topo.Machine { return h.m }
+
+// Memory returns the backing store (authoritative only after Drain).
+func (h *Hierarchy) Memory() *mem.Memory { return h.backing }
+
+// Counters returns the protocol event counters.
+func (h *Hierarchy) Counters() *stats.Counters { return h.ctr }
+
+// Traffic returns accumulated network traffic.
+func (h *Hierarchy) Traffic() stats.Traffic { return h.m.Mesh.Traffic() }
+
+// SyncCost implements the synchronization cost hook for the hwsync
+// controller, accounting the request/grant message pair as sync traffic.
+func (h *Hierarchy) SyncCost(core, id int) int64 {
+	h.m.Mesh.Account(stats.SyncTraffic, 2)
+	return h.m.SyncCost(core, id)
+}
+
+// MapThread records in the ThreadMap that thread t runs in block b. The
+// runtime calls this when threads are spawned; tests use it to check that
+// level-adaptive programs run unmodified under different mappings.
+func (h *Hierarchy) MapThread(t, b int) {
+	if b < 0 || b >= h.m.Blocks {
+		panic(fmt.Sprintf("core: thread %d mapped to nonexistent block %d", t, b))
+	}
+	h.threadMap[t] = b
+}
+
+// sameBlock reports whether core's block equals peer thread's block per the
+// ThreadMap — the hardware check behind the level-adaptive instructions.
+func (h *Hierarchy) sameBlock(core, peer int) bool {
+	if peer < 0 || peer >= len(h.threadMap) {
+		return false
+	}
+	return h.m.BlockOf(core) == h.threadMap[peer]
+}
+
+// ---- Loads and stores -------------------------------------------------
+
+// Load reads one word through the hierarchy, returning the value and the
+// exposed latency. L1 hits are pipelined (zero exposed cycles). When the
+// core's IEB is armed, the load follows the Section IV-B.2 protocol.
+func (h *Hierarchy) Load(core int, a mem.Addr) (mem.Word, int64) {
+	l1 := h.l1[core]
+	line := mem.LineAddr(a)
+
+	if b := h.ieb[core]; b != nil && b.Armed() {
+		switch {
+		case b.Contains(line):
+			// Already refreshed this epoch: no special action.
+			h.ctr.Inc("ieb.filtered", 1)
+		case func() bool { l := l1.Peek(a); return l != nil && l.Dirty.Has(mem.WordIndex(a)) }():
+			// The word was written by this core in the past: not stale.
+			h.ctr.Inc("ieb.dirtyhit", 1)
+		default:
+			if b.Insert(line) {
+				h.ctr.Inc("ieb.evictions", 1)
+			}
+			h.ctr.Inc("ieb.insertions", 1)
+			if l := l1.Peek(a); l != nil {
+				// First read in the epoch: invalidate the potentially
+				// stale copy (draining this core's own dirty words first,
+				// so INV never loses updates) and refetch fresh below.
+				if l.IsDirty() {
+					h.wbDirtyWords(core, l, isa.LevelAuto)
+				}
+				l1.Invalidate(a)
+				h.ctr.Inc("ieb.selfinv", 1)
+			}
+		}
+	}
+
+	if l := l1.Lookup(a); l != nil {
+		return l.Words[mem.WordIndex(a)], 0
+	}
+	words, lat := h.fillL1(core, line)
+	return words[mem.WordIndex(a)], lat
+}
+
+// Store writes one word, write-allocating on a miss, and returns exposed
+// latency. A clean→dirty word transition records the frame in the MEB.
+// Under write-through the word goes straight to the shared L2 and the L1
+// copy stays clean.
+func (h *Hierarchy) Store(core int, a mem.Addr, v mem.Word) int64 {
+	l1 := h.l1[core]
+	var lat int64
+	l := l1.Lookup(a)
+	if l == nil {
+		_, lat = h.fillL1(core, mem.LineAddr(a))
+		l = l1.Peek(a)
+	}
+	i := mem.WordIndex(a)
+	if h.cfg.WriteThrough {
+		l.Words[i] = v
+		var words [mem.WordsPerLine]mem.Word
+		words[i] = v
+		h.ctr.Inc("wt.stores", 1)
+		h.noteBloomWrite(core, mem.LineAddr(a))
+		h.mergeBelowL1(h.m.BlockOf(core), mem.LineAddr(a), &words, mem.Bit(i))
+		return lat
+	}
+	if !l.Dirty.Has(i) {
+		if b := h.meb[core]; b != nil {
+			if b.Record(l1.FrameOf(a)) {
+				h.ctr.Inc("meb.overflows", 1)
+			}
+		}
+		h.noteBloomWrite(core, mem.LineAddr(a))
+	}
+	l.Words[i] = v
+	l.Dirty |= mem.Bit(i)
+	return lat
+}
+
+// fillL1 fetches a line into core's L1 from the shared levels, handling
+// victim writeback, and returns the line data and exposed latency.
+func (h *Hierarchy) fillL1(core int, line mem.Addr) ([mem.WordsPerLine]mem.Word, int64) {
+	b := h.m.BlockOf(core)
+	words, lat := h.readThroughL2(core, b, line)
+	_, victim := h.l1[core].Insert(line, &words, cache.StateNone)
+	if victim != nil && victim.IsDirty() {
+		// Victim writeback drains through the write buffer: traffic but no
+		// exposed latency.
+		h.mergeBelowL1(b, victim.Tag, &victim.Words, victim.Dirty)
+		h.ctr.Inc("l1.evict.dirty", 1)
+	}
+	return words, lat
+}
+
+// readThroughL2 returns the line's data as seen from block b's L2,
+// filling L2 from L3/memory on an L2 miss. Latency covers the L1-miss
+// round trip to the L2 bank plus any deeper legs.
+func (h *Hierarchy) readThroughL2(core, b int, line mem.Addr) ([mem.WordsPerLine]mem.Word, int64) {
+	p := h.m.Params
+	mesh := h.m.Mesh
+	bank := h.m.L2BankNode(b, line)
+	lat := p.L2RT + mesh.RTLatency(h.m.CoreNode(core), bank)
+	mesh.Account(stats.Linefill, noc.CtrlFlits()+noc.DataFlits(mem.LineBytes))
+	if l2l := h.l2[b].Lookup(line); l2l != nil {
+		return l2l.Words, lat
+	}
+	words, deeper := h.fillL2(b, line)
+	return words, lat + deeper
+}
+
+// fillL2 fetches a line into block b's L2 from L3 or memory and returns
+// its data plus the latency of the deeper legs.
+func (h *Hierarchy) fillL2(b int, line mem.Addr) ([mem.WordsPerLine]mem.Word, int64) {
+	p := h.m.Params
+	mesh := h.m.Mesh
+	bank := h.m.L2BankNode(b, line)
+	var words [mem.WordsPerLine]mem.Word
+	var lat int64
+	if h.l3 != nil {
+		l3n := h.m.L3Node(line)
+		lat += p.L3RT + mesh.RTLatency(bank, l3n)
+		mesh.Account(stats.Linefill, noc.CtrlFlits()+noc.DataFlits(mem.LineBytes))
+		if l3l := h.l3.Lookup(line); l3l != nil {
+			words = l3l.Words
+		} else {
+			lat += p.MemRT + mesh.RTLatency(l3n, h.m.MemNode(line))
+			mesh.Account(stats.MemoryTraffic, noc.CtrlFlits()+noc.DataFlits(mem.LineBytes))
+			h.backing.ReadLine(line, &words)
+			_, v3 := h.l3.Insert(line, &words, cache.StateNone)
+			if v3 != nil && v3.IsDirty() {
+				h.writeMemory(v3.Tag, &v3.Words, v3.Dirty)
+			}
+		}
+	} else {
+		lat += p.MemRT + mesh.RTLatency(bank, h.m.MemNode(line))
+		mesh.Account(stats.MemoryTraffic, noc.CtrlFlits()+noc.DataFlits(mem.LineBytes))
+		h.backing.ReadLine(line, &words)
+	}
+	_, victim := h.l2[b].Insert(line, &words, cache.StateNone)
+	if victim != nil && victim.IsDirty() {
+		h.mergeBelowL2(victim.Tag, &victim.Words, victim.Dirty)
+		h.ctr.Inc("l2.evict.dirty", 1)
+	}
+	return words, lat
+}
+
+// writeMemory pushes masked words to backing memory with memory traffic.
+func (h *Hierarchy) writeMemory(line mem.Addr, words *[mem.WordsPerLine]mem.Word, mask mem.LineMask) {
+	h.backing.WriteLine(line, words, mask)
+	h.m.Mesh.Account(stats.MemoryTraffic, noc.DataFlits(mask.Count()*mem.WordBytes))
+}
+
+// mergeBelowL1 pushes masked dirty words from an L1 line into the block's
+// L2 if present (marking them dirty there), else forwards them deeper
+// (write-no-allocate below L1).
+func (h *Hierarchy) mergeBelowL1(b int, line mem.Addr, words *[mem.WordsPerLine]mem.Word, mask mem.LineMask) {
+	h.m.Mesh.Account(stats.Writeback, noc.DataFlits(mask.Count()*mem.WordBytes))
+	if l2l := h.l2[b].Peek(line); l2l != nil {
+		for i := 0; i < mem.WordsPerLine; i++ {
+			if mask.Has(i) {
+				l2l.Words[i] = words[i]
+			}
+		}
+		l2l.Dirty |= mask
+		return
+	}
+	h.mergeBelowL2NoTraffic(line, words, mask)
+}
+
+// mergeBelowL2 pushes masked dirty words from an L2 line into L3 if
+// present (marking them dirty), else to memory.
+func (h *Hierarchy) mergeBelowL2(line mem.Addr, words *[mem.WordsPerLine]mem.Word, mask mem.LineMask) {
+	if h.l3 != nil {
+		h.m.Mesh.Account(stats.Writeback, noc.DataFlits(mask.Count()*mem.WordBytes))
+	}
+	h.mergeBelowL2NoTraffic(line, words, mask)
+}
+
+func (h *Hierarchy) mergeBelowL2NoTraffic(line mem.Addr, words *[mem.WordsPerLine]mem.Word, mask mem.LineMask) {
+	if h.l3 != nil {
+		if l3l := h.l3.Peek(line); l3l != nil {
+			for i := 0; i < mem.WordsPerLine; i++ {
+				if mask.Has(i) {
+					l3l.Words[i] = words[i]
+				}
+			}
+			l3l.Dirty |= mask
+			return
+		}
+	}
+	h.writeMemory(line, words, mask)
+}
+
+// ---- Uncacheable accesses ---------------------------------------------
+
+// LoadUncached reads a word directly from the on-chip shared storage,
+// bypassing the private caches — the access mode of the synchronization
+// variables and MPI buffers of Programming Model 1.
+func (h *Hierarchy) LoadUncached(core int, a mem.Addr) (mem.Word, int64) {
+	h.m.Mesh.Account(stats.SyncTraffic, noc.CtrlFlits()+noc.DataFlits(mem.WordBytes))
+	return h.backing.ReadWord(a), h.uncachedRT(core, a)
+}
+
+// StoreUncached writes a word directly to the on-chip shared storage.
+func (h *Hierarchy) StoreUncached(core int, a mem.Addr, v mem.Word) int64 {
+	h.m.Mesh.Account(stats.SyncTraffic, noc.DataFlits(mem.WordBytes))
+	h.backing.WriteWord(a, v)
+	return h.uncachedRT(core, a)
+}
+
+func (h *Hierarchy) uncachedRT(core int, a mem.Addr) int64 {
+	p := h.m.Params
+	line := mem.LineAddr(a)
+	if h.l3 != nil {
+		return p.L3RT + h.m.Mesh.RTLatency(h.m.CoreNode(core), h.m.L3Node(line))
+	}
+	b := h.m.BlockOf(core)
+	return p.L2RT + h.m.Mesh.RTLatency(h.m.CoreNode(core), h.m.L2BankNode(b, line))
+}
+
+// ---- Epochs and verification ------------------------------------------
+
+// EpochBoundary tells core's cache controller that a synchronization
+// operation executed: the IEB is disarmed and cleared ("the IEB starts the
+// epoch empty", Section IV-B.2). The MEB deliberately persists until the
+// next WB ALL so that it always covers every line dirtied since the last
+// full writeback (see MEB docs).
+func (h *Hierarchy) EpochBoundary(core int) {
+	if b := h.ieb[core]; b != nil {
+		b.Disarm()
+	}
+}
+
+// Drain flushes every dirty word in every cache to backing memory, without
+// timing or traffic, so tests can verify final program results. It leaves
+// clean copies in place.
+func (h *Hierarchy) Drain() {
+	for c, l1 := range h.l1 {
+		b := h.m.BlockOf(c)
+		l1.ForEachValid(func(_ cache.FrameID, l *cache.Line) {
+			if l.IsDirty() {
+				if l2l := h.l2[b].Peek(l.Tag); l2l != nil {
+					for i := 0; i < mem.WordsPerLine; i++ {
+						if l.Dirty.Has(i) {
+							l2l.Words[i] = l.Words[i]
+						}
+					}
+					l2l.Dirty |= l.Dirty
+				} else {
+					h.drainToBelowL2(l.Tag, &l.Words, l.Dirty)
+				}
+				l.Dirty = 0
+			}
+		})
+	}
+	for _, l2 := range h.l2 {
+		l2.ForEachValid(func(_ cache.FrameID, l *cache.Line) {
+			if l.IsDirty() {
+				h.drainToBelowL2(l.Tag, &l.Words, l.Dirty)
+				l.Dirty = 0
+			}
+		})
+	}
+	if h.l3 != nil {
+		h.l3.ForEachValid(func(_ cache.FrameID, l *cache.Line) {
+			if l.IsDirty() {
+				h.backing.WriteLine(l.Tag, &l.Words, l.Dirty)
+				l.Dirty = 0
+			}
+		})
+	}
+}
+
+func (h *Hierarchy) drainToBelowL2(line mem.Addr, words *[mem.WordsPerLine]mem.Word, mask mem.LineMask) {
+	if h.l3 != nil {
+		if l3l := h.l3.Peek(line); l3l != nil {
+			for i := 0; i < mem.WordsPerLine; i++ {
+				if mask.Has(i) {
+					l3l.Words[i] = words[i]
+				}
+			}
+			l3l.Dirty |= mask
+			return
+		}
+	}
+	h.backing.WriteLine(line, words, mask)
+}

@@ -1,0 +1,502 @@
+// Package engine is the execution-driven multiprocessor simulator. Guest
+// threads are ordinary Go functions programmed against the Proc interface
+// (the machine's ISA: loads, stores, WB/INV flavors, synchronization).
+// Each guest runs in its own goroutine but is driven strictly one operation
+// at a time by a single scheduler goroutine, so simulation is fully
+// deterministic: at every step the runnable thread with the smallest local
+// clock executes its next operation (ties broken by thread ID), its latency
+// is computed by the memory hierarchy, and the cycles are attributed to the
+// paper's stall categories (INV, WB, lock, barrier, rest).
+//
+// Synchronization is served by the hwsync controller: threads that cannot
+// be granted immediately are blocked, and grant times produced on release,
+// barrier completion, or flag set wake them — no spinning over the network,
+// matching Section III-D.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hwsync"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Hierarchy is the memory-system interface the engine drives. Both the
+// hardware-incoherent hierarchy (core package) and the MESI baseline (mesi
+// package) implement it.
+type Hierarchy interface {
+	Load(core int, a mem.Addr) (mem.Word, int64)
+	Store(core int, a mem.Addr, v mem.Word) int64
+	LoadUncached(core int, a mem.Addr) (mem.Word, int64)
+	StoreUncached(core int, a mem.Addr, v mem.Word) int64
+	WB(core int, r mem.Range, lvl isa.Level) int64
+	INV(core int, r mem.Range, lvl isa.Level) int64
+	WBAll(core int, useMEB bool, lvl isa.Level) int64
+	INVAll(core int, lazy bool, lvl isa.Level) int64
+	WBCons(core int, r mem.Range, cons int) int64
+	InvProd(core int, r mem.Range, prod int) int64
+	WBConsAll(core, cons int) int64
+	InvProdAll(core, prod int) int64
+	SigPublish(core, ch int) int64
+	INVSig(core, ch int) int64
+	DMACopy(core int, dst mem.Addr, src mem.Range, toBlock int) int64
+	EpochBoundary(core int)
+	SyncCost(core, id int) int64
+	Drain()
+	Memory() *mem.Memory
+	Traffic() stats.Traffic
+	Counters() *stats.Counters
+}
+
+// Guest is one guest thread's program. The Proc passed in is only valid
+// during the call and must not be used from other goroutines.
+type Guest func(p Proc)
+
+// Proc is the processor interface a guest thread programs against.
+type Proc interface {
+	// ID is the thread's ID (threads map 1:1 to cores).
+	ID() int
+	// NumThreads is the number of threads in the run.
+	NumThreads() int
+
+	// Load and Store are cacheable word accesses.
+	Load(a mem.Addr) mem.Word
+	Store(a mem.Addr, v mem.Word)
+	// LoadU and StoreU are uncacheable word accesses.
+	LoadU(a mem.Addr) mem.Word
+	StoreU(a mem.Addr, v mem.Word)
+	// Compute models local work of the given duration.
+	Compute(cycles int64)
+
+	// WB/INV operate on address ranges at the default level; the Global
+	// forms are the WB_L3/INV_L2 instructions.
+	WB(r mem.Range)
+	INV(r mem.Range)
+	WBGlobal(r mem.Range)
+	INVGlobal(r mem.Range)
+
+	// Whole-cache forms. WBAllMEB uses the Modified Entry Buffer when
+	// valid; INVAllLazy arms the Invalidated Entry Buffer instead of
+	// eagerly invalidating.
+	WBAll()
+	WBAllMEB()
+	WBAllGlobal()
+	INVAll()
+	INVAllLazy()
+	INVAllGlobal()
+
+	// Level-adaptive instructions of Section V.
+	WBCons(r mem.Range, cons int)
+	InvProd(r mem.Range, prod int)
+	WBConsAll(cons int)
+	InvProdAll(prod int)
+
+	// Bloom-signature operations (Ashby-style selective invalidation).
+	SigPublish(ch int)
+	INVSig(ch int)
+
+	// DMACopy initiates a DMA transfer of src to the equal-length range
+	// at dst, depositing the lines in block toBlock's L2 (Runnemede's
+	// inter-block communication mechanism).
+	DMACopy(dst mem.Addr, src mem.Range, toBlock int)
+
+	// Synchronization, served by the shared-cache controller.
+	Acquire(lock int)
+	Release(lock int)
+	Barrier(id int)
+	FlagSet(id int, v int64)
+	FlagWait(id int, threshold int64)
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Cycles is the parallel execution time: the max over threads of
+	// their finish time.
+	Cycles int64
+	// PerThread holds each thread's stall breakdown.
+	PerThread []stats.Stalls
+	// Stalls is the sum over threads.
+	Stalls stats.Stalls
+	// Traffic is the hierarchy's flit counts at the end of the run.
+	Traffic stats.Traffic
+	// Ops counts executed operations by kind.
+	Ops [isa.NumOpKinds]int64
+}
+
+// Engine drives one run.
+type Engine struct {
+	h    Hierarchy
+	ctrl *hwsync.Controller
+	ts   []*thread
+}
+
+type thread struct {
+	id      int
+	guest   Guest
+	time    int64
+	stalls  stats.Stalls
+	req     chan isa.Op
+	resp    chan mem.Word
+	next    isa.Op // pending op, valid when state == ready
+	state   tstate
+	blockAt int64           // time the blocking request was issued
+	blockAs stats.StallKind // category charged for the wait
+	err     error
+}
+
+type tstate int
+
+const (
+	ready tstate = iota
+	blocked
+	done
+)
+
+// New builds an engine over hierarchy h for the given guests (one per
+// core, in core order).
+func New(h Hierarchy, guests []Guest) *Engine {
+	e := &Engine{h: h, ctrl: hwsync.New(h.SyncCost)}
+	for i, g := range guests {
+		e.ts = append(e.ts, &thread{
+			id:    i,
+			guest: g,
+			req:   make(chan isa.Op),
+			resp:  make(chan mem.Word),
+		})
+	}
+	return e
+}
+
+// Run executes all guests to completion and returns the run result. It is
+// deterministic: identical guests over an identical hierarchy produce an
+// identical result.
+func (e *Engine) Run() (*Result, error) {
+	for _, t := range e.ts {
+		go runGuest(t, len(e.ts))
+	}
+	// Receive each thread's first op.
+	for _, t := range e.ts {
+		e.recvNext(t)
+	}
+	res := &Result{PerThread: make([]stats.Stalls, len(e.ts))}
+	for {
+		t := e.pickRunnable()
+		if t == nil {
+			if e.allDone() {
+				break
+			}
+			return nil, e.deadlockError()
+		}
+		if err := e.step(t, res); err != nil {
+			return nil, err
+		}
+	}
+	for i, t := range e.ts {
+		if t.err != nil {
+			return nil, fmt.Errorf("engine: thread %d: %w", i, t.err)
+		}
+		res.PerThread[i] = t.stalls
+		res.Stalls.Merge(&t.stalls)
+		if t.time > res.Cycles {
+			res.Cycles = t.time
+		}
+	}
+	res.Traffic = e.h.Traffic()
+	return res, nil
+}
+
+// pickRunnable returns the ready thread with minimum time (ties: lowest
+// ID), or nil.
+func (e *Engine) pickRunnable() *thread {
+	var best *thread
+	for _, t := range e.ts {
+		if t.state != ready {
+			continue
+		}
+		if best == nil || t.time < best.time {
+			best = t
+		}
+	}
+	return best
+}
+
+func (e *Engine) allDone() bool {
+	for _, t := range e.ts {
+		if t.state != done {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) deadlockError() error {
+	var waiting []int
+	for _, t := range e.ts {
+		if t.state == blocked {
+			waiting = append(waiting, t.id)
+		}
+	}
+	sort.Ints(waiting)
+	return fmt.Errorf("engine: deadlock: threads %v blocked in the synchronization controller (%v parked)",
+		waiting, e.ctrl.Blocked())
+}
+
+// step executes thread t's pending op.
+func (e *Engine) step(t *thread, res *Result) error {
+	op := t.next
+	res.Ops[op.Kind]++
+	if op.Kind.IsSync() {
+		e.h.EpochBoundary(t.id)
+		return e.stepSync(t, op)
+	}
+
+	var val mem.Word
+	var lat int64
+	var kind stats.StallKind
+	switch op.Kind {
+	case isa.OpLoad:
+		val, lat = e.h.Load(t.id, op.Addr)
+		kind = stats.MemStall
+	case isa.OpStore:
+		lat = e.h.Store(t.id, op.Addr, op.Value)
+		kind = stats.MemStall
+	case isa.OpLoadU:
+		val, lat = e.h.LoadUncached(t.id, op.Addr)
+		kind = stats.MemStall
+	case isa.OpStoreU:
+		lat = e.h.StoreUncached(t.id, op.Addr, op.Value)
+		kind = stats.MemStall
+	case isa.OpCompute:
+		t.time += op.Cycles
+		t.stalls.Add(stats.Busy, op.Cycles)
+		e.reply(t, 0)
+		return nil
+	case isa.OpWB:
+		lat = e.h.WB(t.id, op.Range, op.Level)
+		kind = stats.WBStall
+	case isa.OpINV:
+		lat = e.h.INV(t.id, op.Range, op.Level)
+		kind = stats.INVStall
+	case isa.OpWBAll:
+		lat = e.h.WBAll(t.id, op.UseMEB, op.Level)
+		kind = stats.WBStall
+	case isa.OpINVAll:
+		lat = e.h.INVAll(t.id, op.Lazy, op.Level)
+		kind = stats.INVStall
+	case isa.OpWBCons:
+		lat = e.h.WBCons(t.id, op.Range, op.Peer)
+		kind = stats.WBStall
+	case isa.OpInvProd:
+		lat = e.h.InvProd(t.id, op.Range, op.Peer)
+		kind = stats.INVStall
+	case isa.OpWBConsAll:
+		lat = e.h.WBConsAll(t.id, op.Peer)
+		kind = stats.WBStall
+	case isa.OpInvProdAll:
+		lat = e.h.InvProdAll(t.id, op.Peer)
+		kind = stats.INVStall
+	case isa.OpDMACopy:
+		lat = e.h.DMACopy(t.id, op.Addr, op.Range, op.Peer)
+		kind = stats.MemStall
+	case isa.OpSigPublish:
+		lat = e.h.SigPublish(t.id, op.ID)
+		kind = stats.WBStall
+	case isa.OpINVSig:
+		lat = e.h.INVSig(t.id, op.ID)
+		kind = stats.INVStall
+	default:
+		return fmt.Errorf("engine: thread %d issued unknown op %v", t.id, op)
+	}
+	// One issue slot of busy time plus the exposed latency.
+	cpi := int64(1)
+	t.time += cpi + lat
+	t.stalls.Add(stats.Busy, cpi)
+	t.stalls.Add(kind, lat)
+	e.reply(t, val)
+	return nil
+}
+
+// stepSync executes a synchronization op, blocking the thread when the
+// controller cannot grant immediately.
+func (e *Engine) stepSync(t *thread, op isa.Op) error {
+	switch op.Kind {
+	case isa.OpAcquire:
+		at, ok := e.ctrl.Acquire(t.id, op.ID, t.time)
+		if !ok {
+			t.state = blocked
+			t.blockAt = t.time
+			t.blockAs = stats.LockStall
+			return nil
+		}
+		t.stalls.Add(stats.LockStall, at-t.time)
+		t.time = at
+		e.reply(t, 0)
+	case isa.OpRelease:
+		// Posted: the releaser does not wait for the controller.
+		grant, ok := e.ctrl.Release(t.id, op.ID, t.time)
+		e.reply(t, 0)
+		if ok {
+			e.wake(grant)
+		}
+	case isa.OpBarrier:
+		grants := e.ctrl.BarrierArrive(t.id, op.ID, t.time, len(e.ts))
+		if grants == nil {
+			t.state = blocked
+			t.blockAt = t.time
+			t.blockAs = stats.BarrierStall
+			return nil
+		}
+		// Last arrival: wake everyone, including this thread.
+		t.state = blocked
+		t.blockAt = t.time
+		t.blockAs = stats.BarrierStall
+		for _, g := range grants {
+			e.wake(g)
+		}
+	case isa.OpFlagSet:
+		grants := e.ctrl.FlagSet(t.id, op.ID, int64(op.Value), t.time)
+		e.reply(t, 0)
+		for _, g := range grants {
+			e.wake(g)
+		}
+	case isa.OpFlagWait:
+		at, ok := e.ctrl.FlagWait(t.id, op.ID, int64(op.Value), t.time)
+		if !ok {
+			t.state = blocked
+			t.blockAt = t.time
+			t.blockAs = stats.FlagStall
+			return nil
+		}
+		t.stalls.Add(stats.FlagStall, at-t.time)
+		t.time = at
+		e.reply(t, 0)
+	default:
+		return fmt.Errorf("engine: thread %d issued unknown sync op %v", t.id, op)
+	}
+	return nil
+}
+
+// wake unblocks a thread granted by the controller.
+func (e *Engine) wake(g hwsync.Grant) {
+	t := e.ts[g.Thread]
+	if t.state != blocked {
+		panic(fmt.Sprintf("engine: grant for thread %d which is not blocked", g.Thread))
+	}
+	wait := g.At - t.blockAt
+	if wait < 0 {
+		wait = 0
+	}
+	t.stalls.Add(t.blockAs, wait)
+	t.time = g.At
+	t.state = ready
+	e.reply(t, 0)
+}
+
+// reply sends the op's result to the guest and receives its next op.
+func (e *Engine) reply(t *thread, val mem.Word) {
+	t.resp <- val
+	e.recvNext(t)
+}
+
+// recvNext receives thread t's next op, marking it done when the guest
+// returns.
+func (e *Engine) recvNext(t *thread) {
+	op, ok := <-t.req
+	if !ok {
+		t.state = done
+		return
+	}
+	t.next = op
+	t.state = ready
+}
+
+// runGuest runs one guest with panic capture.
+func runGuest(t *thread, n int) {
+	defer close(t.req)
+	defer func() {
+		if r := recover(); r != nil {
+			t.err = fmt.Errorf("guest panic: %v", r)
+		}
+	}()
+	t.guest(&proc{t: t, n: n})
+}
+
+// proc implements Proc by round-tripping ops through the engine.
+type proc struct {
+	t *thread
+	n int
+}
+
+func (p *proc) do(op isa.Op) mem.Word {
+	p.t.req <- op
+	return <-p.t.resp
+}
+
+func (p *proc) ID() int         { return p.t.id }
+func (p *proc) NumThreads() int { return p.n }
+
+func (p *proc) Load(a mem.Addr) mem.Word {
+	return p.do(isa.Op{Kind: isa.OpLoad, Addr: a})
+}
+func (p *proc) Store(a mem.Addr, v mem.Word) {
+	p.do(isa.Op{Kind: isa.OpStore, Addr: a, Value: v})
+}
+func (p *proc) LoadU(a mem.Addr) mem.Word {
+	return p.do(isa.Op{Kind: isa.OpLoadU, Addr: a})
+}
+func (p *proc) StoreU(a mem.Addr, v mem.Word) {
+	p.do(isa.Op{Kind: isa.OpStoreU, Addr: a, Value: v})
+}
+func (p *proc) Compute(cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	p.do(isa.Op{Kind: isa.OpCompute, Cycles: cycles})
+}
+
+func (p *proc) WB(r mem.Range)       { p.do(isa.Op{Kind: isa.OpWB, Range: r}) }
+func (p *proc) INV(r mem.Range)      { p.do(isa.Op{Kind: isa.OpINV, Range: r}) }
+func (p *proc) WBGlobal(r mem.Range) { p.do(isa.Op{Kind: isa.OpWB, Range: r, Level: isa.LevelGlobal}) }
+func (p *proc) INVGlobal(r mem.Range) {
+	p.do(isa.Op{Kind: isa.OpINV, Range: r, Level: isa.LevelGlobal})
+}
+
+func (p *proc) WBAll()    { p.do(isa.Op{Kind: isa.OpWBAll}) }
+func (p *proc) WBAllMEB() { p.do(isa.Op{Kind: isa.OpWBAll, UseMEB: true}) }
+func (p *proc) WBAllGlobal() {
+	p.do(isa.Op{Kind: isa.OpWBAll, Level: isa.LevelGlobal})
+}
+func (p *proc) INVAll()     { p.do(isa.Op{Kind: isa.OpINVAll}) }
+func (p *proc) INVAllLazy() { p.do(isa.Op{Kind: isa.OpINVAll, Lazy: true}) }
+func (p *proc) INVAllGlobal() {
+	p.do(isa.Op{Kind: isa.OpINVAll, Level: isa.LevelGlobal})
+}
+
+func (p *proc) WBCons(r mem.Range, cons int) {
+	p.do(isa.Op{Kind: isa.OpWBCons, Range: r, Peer: cons})
+}
+func (p *proc) InvProd(r mem.Range, prod int) {
+	p.do(isa.Op{Kind: isa.OpInvProd, Range: r, Peer: prod})
+}
+func (p *proc) WBConsAll(cons int)  { p.do(isa.Op{Kind: isa.OpWBConsAll, Peer: cons}) }
+func (p *proc) InvProdAll(prod int) { p.do(isa.Op{Kind: isa.OpInvProdAll, Peer: prod}) }
+
+func (p *proc) DMACopy(dst mem.Addr, src mem.Range, toBlock int) {
+	p.do(isa.Op{Kind: isa.OpDMACopy, Addr: dst, Range: src, Peer: toBlock})
+}
+
+func (p *proc) SigPublish(ch int) { p.do(isa.Op{Kind: isa.OpSigPublish, ID: ch}) }
+func (p *proc) INVSig(ch int)     { p.do(isa.Op{Kind: isa.OpINVSig, ID: ch}) }
+
+func (p *proc) Acquire(lock int) { p.do(isa.Op{Kind: isa.OpAcquire, ID: lock}) }
+func (p *proc) Release(lock int) { p.do(isa.Op{Kind: isa.OpRelease, ID: lock}) }
+func (p *proc) Barrier(id int)   { p.do(isa.Op{Kind: isa.OpBarrier, ID: id}) }
+func (p *proc) FlagSet(id int, v int64) {
+	p.do(isa.Op{Kind: isa.OpFlagSet, ID: id, Value: mem.Word(v)})
+}
+func (p *proc) FlagWait(id int, threshold int64) {
+	p.do(isa.Op{Kind: isa.OpFlagWait, ID: id, Value: mem.Word(threshold)})
+}

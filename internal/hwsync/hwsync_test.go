@@ -1,0 +1,254 @@
+package hwsync
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func fixedCost(rt int64) CostFunc { return func(int, int) int64 { return rt } }
+
+func TestLockFreeAcquire(t *testing.T) {
+	c := New(fixedCost(10))
+	at, ok := c.Acquire(0, 1, 100)
+	if !ok || at != 110 {
+		t.Fatalf("acquire = (%d,%v)", at, ok)
+	}
+	if holder, held := c.HeldBy(1); !held || holder != 0 {
+		t.Error("lock should be held by 0")
+	}
+}
+
+func TestLockQueueFIFO(t *testing.T) {
+	c := New(fixedCost(10))
+	c.Acquire(0, 1, 0)
+	if _, ok := c.Acquire(1, 1, 5); ok {
+		t.Fatal("second acquire should block")
+	}
+	if _, ok := c.Acquire(2, 1, 6); ok {
+		t.Fatal("third acquire should block")
+	}
+	if c.QueueLen(1) != 2 {
+		t.Fatalf("queue len = %d", c.QueueLen(1))
+	}
+	g, ok := c.Release(0, 1, 50)
+	if !ok || g.Thread != 1 {
+		t.Fatalf("release grant = %+v ok=%v, want thread 1", g, ok)
+	}
+	if g.At != 60 { // releaser half RT + grantee half RT
+		t.Errorf("grant time = %d, want 60", g.At)
+	}
+	g, ok = c.Release(1, 1, 80)
+	if !ok || g.Thread != 2 {
+		t.Fatalf("second grant = %+v, want thread 2", g)
+	}
+	if g, ok = c.Release(2, 1, 90); ok {
+		t.Fatalf("empty queue release should not grant, got %+v", g)
+	}
+	if _, held := c.HeldBy(1); held {
+		t.Error("lock should be free")
+	}
+}
+
+func TestReleaseWithoutHoldPanics(t *testing.T) {
+	c := New(nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("release of unheld lock should panic")
+		}
+	}()
+	c.Release(0, 1, 0)
+}
+
+func TestGrantNeverBeforeRequest(t *testing.T) {
+	c := New(fixedCost(4))
+	c.Acquire(0, 7, 0)
+	c.Acquire(1, 7, 1000) // requester far in the future
+	g, ok := c.Release(0, 7, 10)
+	if !ok || g.At < 1000 {
+		t.Errorf("grant %v must not precede the request time", g)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	c := New(fixedCost(6))
+	if g := c.BarrierArrive(0, 3, 10, 3); g != nil {
+		t.Fatal("first arrival should block")
+	}
+	if g := c.BarrierArrive(1, 3, 30, 3); g != nil {
+		t.Fatal("second arrival should block")
+	}
+	grants := c.BarrierArrive(2, 3, 20, 3)
+	if len(grants) != 3 {
+		t.Fatalf("grants = %v", grants)
+	}
+	for _, g := range grants {
+		if g.At != 30+6 { // last arrival + RT
+			t.Errorf("grant %v, want At=36", g)
+		}
+	}
+	// Barrier is reusable.
+	if g := c.BarrierArrive(0, 3, 100, 3); g != nil {
+		t.Fatal("reused barrier should block again")
+	}
+	c.BarrierArrive(1, 3, 100, 3)
+	if grants := c.BarrierArrive(2, 3, 100, 3); len(grants) != 3 {
+		t.Fatal("reused barrier should release all")
+	}
+}
+
+func TestBarrierPartiesMismatchPanics(t *testing.T) {
+	c := New(nil)
+	c.BarrierArrive(0, 1, 0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("parties mismatch should panic")
+		}
+	}()
+	c.BarrierArrive(1, 1, 0, 3)
+}
+
+func TestFlagSetThenWait(t *testing.T) {
+	c := New(fixedCost(8))
+	if woken := c.FlagSet(0, 5, 1, 10); len(woken) != 0 {
+		t.Fatal("no waiters yet")
+	}
+	at, ok := c.FlagWait(1, 5, 1, 20)
+	if !ok || at != 28 {
+		t.Fatalf("satisfied wait = (%d,%v)", at, ok)
+	}
+}
+
+func TestFlagWaitThenSet(t *testing.T) {
+	c := New(fixedCost(8))
+	if _, ok := c.FlagWait(1, 5, 3, 20); ok {
+		t.Fatal("unsatisfied wait should block")
+	}
+	if woken := c.FlagSet(0, 5, 2, 40); len(woken) != 0 {
+		t.Fatal("threshold 3 not reached by value 2")
+	}
+	woken := c.FlagSet(0, 5, 3, 50)
+	if len(woken) != 1 || woken[0].Thread != 1 {
+		t.Fatalf("woken = %v", woken)
+	}
+	if woken[0].At != 50+4+4 {
+		t.Errorf("wake time = %d, want 58", woken[0].At)
+	}
+	if c.FlagValue(5) != 3 {
+		t.Errorf("flag value = %d", c.FlagValue(5))
+	}
+}
+
+func TestFlagWakesMultipleWaiters(t *testing.T) {
+	c := New(nil)
+	c.FlagWait(1, 9, 1, 0)
+	c.FlagWait(2, 9, 1, 0)
+	c.FlagWait(3, 9, 2, 0)
+	woken := c.FlagSet(0, 9, 1, 5)
+	ids := []int{}
+	for _, g := range woken {
+		ids = append(ids, g.Thread)
+	}
+	sort.Ints(ids)
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("woken = %v, want [1 2]", ids)
+	}
+	if woken = c.FlagSet(0, 9, 2, 6); len(woken) != 1 || woken[0].Thread != 3 {
+		t.Fatalf("second set woke %v", woken)
+	}
+}
+
+func TestBlockedDiagnostics(t *testing.T) {
+	c := New(nil)
+	c.Acquire(0, 1, 0)
+	c.Acquire(1, 1, 0)
+	c.BarrierArrive(2, 2, 0, 2)
+	c.FlagWait(3, 3, 1, 0)
+	blocked := c.Blocked()
+	sort.Ints(blocked)
+	want := []int{1, 2, 3}
+	if len(blocked) != 3 {
+		t.Fatalf("blocked = %v, want %v", blocked, want)
+	}
+	for i := range want {
+		if blocked[i] != want[i] {
+			t.Fatalf("blocked = %v, want %v", blocked, want)
+		}
+	}
+}
+
+// Property: for any interleaving of acquires, the lock is granted in
+// controller arrival (call) order, each grant goes to a thread that
+// requested it, and mutual exclusion holds.
+func TestLockOrderProperty(t *testing.T) {
+	f := func(reqs []uint8) bool {
+		c := New(fixedCost(2))
+		now := int64(0)
+		var order []int // threads in request order
+		granted := map[int]bool{}
+		for i, r := range reqs {
+			thread := int(r % 8)
+			if granted[thread] {
+				continue
+			}
+			granted[thread] = true
+			now += int64(i)
+			if _, ok := c.Acquire(thread, 0, now); ok {
+				order = append(order, thread)
+				// immediate grant = holder
+			} else {
+				order = append(order, thread)
+			}
+		}
+		if len(order) == 0 {
+			return true
+		}
+		// Drain: repeatedly release from current holder and check FIFO.
+		for i := 0; i < len(order); i++ {
+			holder, held := c.HeldBy(0)
+			if !held || holder != order[i] {
+				return false
+			}
+			g, ok := c.Release(holder, 0, now+int64(1000+i))
+			if i == len(order)-1 {
+				if ok {
+					return false
+				}
+			} else if !ok || g.Thread != order[i+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: barrier grants are never earlier than the latest arrival.
+func TestBarrierGrantTimeProperty(t *testing.T) {
+	f := func(times [5]uint16) bool {
+		c := New(fixedCost(3))
+		var last int64
+		var grants []Grant
+		for i, tm := range times {
+			at := int64(tm)
+			if at > last {
+				last = at
+			}
+			grants = c.BarrierArrive(i, 0, at, 5)
+		}
+		if len(grants) != 5 {
+			return false
+		}
+		for _, g := range grants {
+			if g.At < last {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestOpKindNames(t *testing.T) {
+	cases := map[OpKind]string{
+		OpLoad:       "load",
+		OpStore:      "store",
+		OpWB:         "wb",
+		OpINVAll:     "invall",
+		OpWBCons:     "wbcons",
+		OpInvProdAll: "invprodall",
+		OpFlagWait:   "flagwait",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if OpKind(99).String() == "" {
+		t.Error("out-of-range kind should still stringify")
+	}
+	// Every defined kind has a distinct, nonempty name.
+	seen := map[string]bool{}
+	for k := OpKind(0); k < NumOpKinds; k++ {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d name %q empty or duplicated", k, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestIsSync(t *testing.T) {
+	syncs := []OpKind{OpAcquire, OpRelease, OpBarrier, OpFlagSet, OpFlagWait}
+	for _, k := range syncs {
+		if !k.IsSync() {
+			t.Errorf("%v should be sync", k)
+		}
+	}
+	nonSyncs := []OpKind{OpLoad, OpStore, OpWB, OpINV, OpWBAll, OpINVAll, OpWBCons, OpCompute}
+	for _, k := range nonSyncs {
+		if k.IsSync() {
+			t.Errorf("%v should not be sync (epoch boundaries are synchronization only)", k)
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelAuto.String() != "auto" || LevelGlobal.String() != "global" {
+		t.Error("level names wrong")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Op{Kind: OpLoad, Addr: 0x10}, "load 0x10"},
+		{Op{Kind: OpStore, Addr: 0x10, Value: 5}, "store 0x10 <- 5"},
+		{Op{Kind: OpCompute, Cycles: 7}, "compute 7"},
+		{Op{Kind: OpWBAll, UseMEB: true}, "wball(meb)"},
+		{Op{Kind: OpINVAll, Lazy: true}, "invall(lazy)"},
+		{Op{Kind: OpBarrier, ID: 3}, "barrier 3"},
+		{Op{Kind: OpFlagSet, ID: 2, Value: 9}, "flagset 2 <- 9"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	wb := Op{Kind: OpWB, Range: mem.WordRange(0x40, 4), Level: LevelGlobal}
+	if s := wb.String(); !strings.Contains(s, "global") {
+		t.Errorf("global WB string %q should mention level", s)
+	}
+	wc := Op{Kind: OpWBCons, Range: mem.WordRange(0x40, 1), Peer: 7}
+	if s := wc.String(); !strings.Contains(s, "peer=7") {
+		t.Errorf("WB_CONS string %q should mention the consumer", s)
+	}
+}

@@ -1,0 +1,73 @@
+package mem
+
+import "testing"
+
+// FuzzRangeLines checks the line-expansion invariants for arbitrary
+// ranges: iteration count matches NumLines, masks are nonempty, lines are
+// line-aligned and ascending, and the selected words cover the range.
+func FuzzRangeLines(f *testing.F) {
+	f.Add(uint32(0), uint32(1))
+	f.Add(uint32(63), uint32(2))
+	f.Add(uint32(100), uint32(200))
+	f.Add(uint32(4096), uint32(64))
+	f.Fuzz(func(t *testing.T, base, n uint32) {
+		base %= 1 << 24
+		n %= 1 << 12
+		r := RangeOf(Addr(base), n)
+		count := 0
+		var prev Addr
+		words := 0
+		r.Lines(func(line Addr, m LineMask) {
+			if line%LineBytes != 0 {
+				t.Fatalf("unaligned line %#x", uint32(line))
+			}
+			if count > 0 && line <= prev {
+				t.Fatalf("lines not ascending: %#x after %#x", uint32(line), uint32(prev))
+			}
+			if m == 0 {
+				t.Fatalf("empty mask for line %#x", uint32(line))
+			}
+			prev = line
+			count++
+			words += m.Count()
+		})
+		if count != r.NumLines() {
+			t.Fatalf("iterated %d lines, NumLines=%d", count, r.NumLines())
+		}
+		if !r.Empty() && uint32(words*WordBytes) < r.Bytes {
+			t.Fatalf("selected words cover %d bytes < range %d", words*WordBytes, r.Bytes)
+		}
+	})
+}
+
+// FuzzMaskedWrite checks that masked line writes never touch unselected
+// words.
+func FuzzMaskedWrite(f *testing.F) {
+	f.Add(uint32(0), uint16(0x0001))
+	f.Add(uint32(128), uint16(0xffff))
+	f.Fuzz(func(t *testing.T, lineBase uint32, mask uint16) {
+		lineBase = (lineBase % (1 << 20)) &^ (LineBytes - 1)
+		m := NewMemory()
+		var bg [WordsPerLine]Word
+		for i := range bg {
+			bg[i] = Word(1000 + i)
+		}
+		m.WriteLine(Addr(lineBase), &bg, FullMask)
+		var nw [WordsPerLine]Word
+		for i := range nw {
+			nw[i] = Word(2000 + i)
+		}
+		m.WriteLine(Addr(lineBase), &nw, LineMask(mask))
+		var got [WordsPerLine]Word
+		m.ReadLine(Addr(lineBase), &got)
+		for i := range got {
+			want := bg[i]
+			if LineMask(mask).Has(i) {
+				want = nw[i]
+			}
+			if got[i] != want {
+				t.Fatalf("word %d = %d, want %d (mask %016b)", i, got[i], want, mask)
+			}
+		}
+	})
+}

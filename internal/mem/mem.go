@@ -1,0 +1,203 @@
+// Package mem defines the simulated physical address space shared by every
+// cache hierarchy in this repository: 32-bit byte addresses, 4-byte words,
+// and 64-byte cache lines (16 words per line, matching the per-line 16 dirty
+// bits of the paper's Table III), plus the word-granular backing memory that
+// sits below the last-level cache.
+package mem
+
+import "fmt"
+
+// Addr is a byte address in the simulated flat physical address space.
+type Addr uint32
+
+// Word is the value of one aligned 4-byte memory word, the finest sharing
+// granularity of the architecture (per-word dirty bits).
+type Word uint32
+
+// Geometry of the memory system. These are fixed by the paper's Table III
+// (64 B lines) and its choice of word as the finest dirty-bit granularity.
+const (
+	WordBytes    = 4
+	LineBytes    = 64
+	WordsPerLine = LineBytes / WordBytes
+)
+
+// LineAddr returns the address of the first byte of the line containing a.
+func LineAddr(a Addr) Addr { return a &^ (LineBytes - 1) }
+
+// WordAddr returns the address of the first byte of the word containing a.
+func WordAddr(a Addr) Addr { return a &^ (WordBytes - 1) }
+
+// WordIndex returns the index (0..15) of a's word within its line.
+func WordIndex(a Addr) int { return int(a%LineBytes) / WordBytes }
+
+// WordOfLine returns the address of word i of the line containing a.
+func WordOfLine(line Addr, i int) Addr { return LineAddr(line) + Addr(i*WordBytes) }
+
+// LineMask is the per-word dirty/valid bitmask type for one line: bit i
+// covers word i.
+type LineMask uint16
+
+// FullMask covers every word of a line.
+const FullMask LineMask = 1<<WordsPerLine - 1
+
+// Bit returns the mask selecting word i of a line.
+func Bit(i int) LineMask { return 1 << uint(i) }
+
+// Count returns the number of words selected by m.
+func (m LineMask) Count() int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// Has reports whether word i is selected by m.
+func (m LineMask) Has(i int) bool { return m&Bit(i) != 0 }
+
+// Range is a byte range [Base, Base+Bytes) in the address space. Ranges are
+// how programs name operands of WB and INV instructions; the hardware
+// expands them to line boundaries.
+type Range struct {
+	Base  Addr
+	Bytes uint32
+}
+
+// RangeOf builds a Range covering n bytes at base.
+func RangeOf(base Addr, n uint32) Range { return Range{Base: base, Bytes: n} }
+
+// WordRange builds a Range covering n words at base.
+func WordRange(base Addr, n int) Range { return Range{Base: base, Bytes: uint32(n * WordBytes)} }
+
+// Empty reports whether the range covers no bytes.
+func (r Range) Empty() bool { return r.Bytes == 0 }
+
+// End returns the first address past the range.
+func (r Range) End() Addr { return r.Base + Addr(r.Bytes) }
+
+// Contains reports whether a lies inside the range.
+func (r Range) Contains(a Addr) bool { return a >= r.Base && a < r.End() }
+
+// Overlaps reports whether the two ranges share at least one byte.
+func (r Range) Overlaps(o Range) bool {
+	if r.Empty() || o.Empty() {
+		return false
+	}
+	return r.Base < o.End() && o.Base < r.End()
+}
+
+// Lines calls fn once for every line that overlaps the range, in ascending
+// address order, with the mask of words of that line that lie inside the
+// range. WB and INV internally operate at line granularity (Section III-B);
+// the mask lets callers honor word-granularity dirty bits.
+func (r Range) Lines(fn func(line Addr, words LineMask)) {
+	if r.Empty() {
+		return
+	}
+	first := LineAddr(r.Base)
+	last := LineAddr(r.End() - 1)
+	for line := first; ; line += LineBytes {
+		var m LineMask
+		for i := 0; i < WordsPerLine; i++ {
+			w := WordOfLine(line, i)
+			if w+WordBytes > r.Base && w < r.End() {
+				m |= Bit(i)
+			}
+		}
+		fn(line, m)
+		if line == last {
+			break
+		}
+	}
+}
+
+// NumLines returns how many lines the range overlaps.
+func (r Range) NumLines() int {
+	if r.Empty() {
+		return 0
+	}
+	return int((LineAddr(r.End()-1)-LineAddr(r.Base))/LineBytes) + 1
+}
+
+func (r Range) String() string {
+	return fmt.Sprintf("[%#x,%#x)", uint32(r.Base), uint32(r.End()))
+}
+
+// Memory is the word-granular backing store below the last-level cache. It
+// holds real values so that the simulators are functional, not just timed:
+// a consumer that misses a required self-invalidation observably reads a
+// stale value.
+//
+// Memory is sparse; untouched words read as zero.
+type Memory struct {
+	words map[Addr]Word
+}
+
+// NewMemory returns an empty backing store.
+func NewMemory() *Memory { return &Memory{words: make(map[Addr]Word)} }
+
+// ReadWord returns the value of the aligned word containing a.
+func (m *Memory) ReadWord(a Addr) Word { return m.words[WordAddr(a)] }
+
+// WriteWord stores v into the aligned word containing a.
+func (m *Memory) WriteWord(a Addr, v Word) { m.words[WordAddr(a)] = v }
+
+// ReadLine copies the 16 words of the line containing a into dst.
+func (m *Memory) ReadLine(a Addr, dst *[WordsPerLine]Word) {
+	line := LineAddr(a)
+	for i := range dst {
+		dst[i] = m.words[WordOfLine(line, i)]
+	}
+}
+
+// WriteLine stores the words of src selected by mask into the line
+// containing a. Word-masked writes are what keep two cores that dirtied
+// different words of the same line from clobbering each other (Section
+// III-B).
+func (m *Memory) WriteLine(a Addr, src *[WordsPerLine]Word, mask LineMask) {
+	line := LineAddr(a)
+	for i := 0; i < WordsPerLine; i++ {
+		if mask.Has(i) {
+			m.words[WordOfLine(line, i)] = src[i]
+		}
+	}
+}
+
+// Footprint returns the number of distinct words ever written.
+func (m *Memory) Footprint() int { return len(m.words) }
+
+// Arena hands out aligned, non-overlapping regions of the address space to
+// workloads. Allocation starts above address 0 so that the zero Addr can be
+// treated as "no address".
+type Arena struct {
+	next Addr
+}
+
+// NewArena returns an allocator starting at the first line above base
+// (minimum one line).
+func NewArena(base Addr) *Arena {
+	if base == 0 {
+		base = LineBytes
+	}
+	return &Arena{next: LineAddr(base + LineBytes - 1)}
+}
+
+// Alloc reserves n bytes aligned to a line boundary and returns the range.
+func (ar *Arena) Alloc(n uint32) Range {
+	if n == 0 {
+		n = WordBytes
+	}
+	r := Range{Base: ar.next, Bytes: n}
+	ar.next = LineAddr(r.End()+LineBytes-1) + 0
+	if ar.next < r.End() {
+		panic("mem: arena exhausted 32-bit address space")
+	}
+	return r
+}
+
+// AllocWords reserves n words aligned to a line boundary.
+func (ar *Arena) AllocWords(n int) Range { return ar.Alloc(uint32(n * WordBytes)) }
+
+// Brk returns the first unallocated address.
+func (ar *Arena) Brk() Addr { return ar.next }

@@ -1,0 +1,251 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineAddr(t *testing.T) {
+	cases := []struct {
+		in, want Addr
+	}{
+		{0, 0}, {1, 0}, {63, 0}, {64, 64}, {65, 64}, {127, 64}, {128, 128},
+	}
+	for _, c := range cases {
+		if got := LineAddr(c.in); got != c.want {
+			t.Errorf("LineAddr(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWordIndex(t *testing.T) {
+	if got := WordIndex(0); got != 0 {
+		t.Errorf("WordIndex(0) = %d", got)
+	}
+	if got := WordIndex(4); got != 1 {
+		t.Errorf("WordIndex(4) = %d", got)
+	}
+	if got := WordIndex(63); got != 15 {
+		t.Errorf("WordIndex(63) = %d", got)
+	}
+	if got := WordIndex(64); got != 0 {
+		t.Errorf("WordIndex(64) = %d", got)
+	}
+}
+
+func TestWordOfLineRoundTrip(t *testing.T) {
+	f := func(a Addr) bool {
+		i := WordIndex(a)
+		return WordOfLine(LineAddr(a), i) == WordAddr(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineMaskCount(t *testing.T) {
+	if FullMask.Count() != WordsPerLine {
+		t.Errorf("FullMask.Count() = %d, want %d", FullMask.Count(), WordsPerLine)
+	}
+	if LineMask(0).Count() != 0 {
+		t.Error("zero mask should count 0")
+	}
+	if Bit(3).Count() != 1 || !Bit(3).Has(3) || Bit(3).Has(2) {
+		t.Error("Bit(3) misbehaves")
+	}
+}
+
+func TestRangeLinesSingleWord(t *testing.T) {
+	r := WordRange(68, 1) // word 1 of line 64
+	var lines []Addr
+	var masks []LineMask
+	r.Lines(func(l Addr, m LineMask) { lines = append(lines, l); masks = append(masks, m) })
+	if len(lines) != 1 || lines[0] != 64 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if masks[0] != Bit(1) {
+		t.Fatalf("mask = %016b", masks[0])
+	}
+}
+
+func TestRangeLinesSpanning(t *testing.T) {
+	// 60..76 covers last word of line 0 and first three words of line 64.
+	r := RangeOf(60, 16)
+	type hit struct {
+		line Addr
+		mask LineMask
+	}
+	var hits []hit
+	r.Lines(func(l Addr, m LineMask) { hits = append(hits, hit{l, m}) })
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if hits[0].line != 0 || hits[0].mask != Bit(15) {
+		t.Errorf("first hit = %+v", hits[0])
+	}
+	if hits[1].line != 64 || hits[1].mask != Bit(0)|Bit(1)|Bit(2) {
+		t.Errorf("second hit = %+v", hits[1])
+	}
+}
+
+func TestRangeLinesUnalignedPartialWord(t *testing.T) {
+	// A 1-byte range inside word 2 must still select word 2.
+	r := RangeOf(9, 1)
+	var got LineMask
+	r.Lines(func(l Addr, m LineMask) { got = m })
+	if got != Bit(2) {
+		t.Errorf("mask = %016b, want word 2", got)
+	}
+}
+
+func TestRangeNumLines(t *testing.T) {
+	cases := []struct {
+		r    Range
+		want int
+	}{
+		{Range{}, 0},
+		{RangeOf(0, 1), 1},
+		{RangeOf(0, 64), 1},
+		{RangeOf(0, 65), 2},
+		{RangeOf(63, 2), 2},
+		{RangeOf(100, 200), 4},
+	}
+	for _, c := range cases {
+		if got := c.r.NumLines(); got != c.want {
+			t.Errorf("NumLines(%v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRangeNumLinesMatchesIteration(t *testing.T) {
+	f := func(base Addr, n uint16) bool {
+		r := RangeOf(base%1<<20, uint32(n))
+		count := 0
+		r.Lines(func(Addr, LineMask) { count++ })
+		return count == r.NumLines()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeLineMasksUnionCoversWholeRange(t *testing.T) {
+	f := func(base Addr, n uint8) bool {
+		r := RangeOf(base%4096, uint32(n)+1)
+		words := 0
+		r.Lines(func(_ Addr, m LineMask) { words += m.Count() })
+		// Every byte of the range lies in some selected word, so the number
+		// of selected words times WordBytes must cover the range.
+		return uint32(words*WordBytes) >= r.Bytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeOverlaps(t *testing.T) {
+	a := RangeOf(100, 50)
+	cases := []struct {
+		b    Range
+		want bool
+	}{
+		{RangeOf(0, 100), false},
+		{RangeOf(0, 101), true},
+		{RangeOf(149, 1), true},
+		{RangeOf(150, 10), false},
+		{RangeOf(120, 0), false},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v (symmetry)", c.b, a, got, c.want)
+		}
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory()
+	if m.ReadWord(1234) != 0 {
+		t.Error("untouched word should read zero")
+	}
+	m.WriteWord(100, 42)
+	if got := m.ReadWord(100); got != 42 {
+		t.Errorf("ReadWord = %d", got)
+	}
+	// Unaligned access hits the containing word.
+	if got := m.ReadWord(102); got != 42 {
+		t.Errorf("unaligned ReadWord = %d", got)
+	}
+}
+
+func TestMemoryLineOps(t *testing.T) {
+	m := NewMemory()
+	var src [WordsPerLine]Word
+	for i := range src {
+		src[i] = Word(i + 1)
+	}
+	m.WriteLine(128, &src, Bit(0)|Bit(5))
+	var dst [WordsPerLine]Word
+	m.ReadLine(128, &dst)
+	for i := range dst {
+		want := Word(0)
+		if i == 0 || i == 5 {
+			want = Word(i + 1)
+		}
+		if dst[i] != want {
+			t.Errorf("word %d = %d, want %d", i, dst[i], want)
+		}
+	}
+	if m.Footprint() != 2 {
+		t.Errorf("Footprint = %d, want 2", m.Footprint())
+	}
+}
+
+func TestMemoryMaskedWritePreservesOtherWords(t *testing.T) {
+	m := NewMemory()
+	var a, b [WordsPerLine]Word
+	for i := range a {
+		a[i] = 100 + Word(i)
+		b[i] = 200 + Word(i)
+	}
+	m.WriteLine(0, &a, FullMask)
+	// Writer B only owns words 3 and 4 — a masked write must not clobber
+	// writer A's words (the paper's false-sharing-safe writeback).
+	m.WriteLine(0, &b, Bit(3)|Bit(4))
+	var got [WordsPerLine]Word
+	m.ReadLine(0, &got)
+	for i := range got {
+		want := 100 + Word(i)
+		if i == 3 || i == 4 {
+			want = 200 + Word(i)
+		}
+		if got[i] != want {
+			t.Errorf("word %d = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestArenaAlignmentAndDisjointness(t *testing.T) {
+	ar := NewArena(0)
+	var prev Range
+	for i := 0; i < 100; i++ {
+		r := ar.Alloc(uint32(i*7 + 1))
+		if r.Base%LineBytes != 0 {
+			t.Fatalf("allocation %d not line aligned: %v", i, r)
+		}
+		if i > 0 && r.Overlaps(prev) {
+			t.Fatalf("allocation %d overlaps previous: %v vs %v", i, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestArenaZeroByteAlloc(t *testing.T) {
+	ar := NewArena(0)
+	r := ar.Alloc(0)
+	if r.Empty() {
+		t.Error("zero-size alloc should still reserve a word")
+	}
+}

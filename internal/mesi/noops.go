@@ -1,0 +1,86 @@
+package mesi
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// The coherence-management instructions are architecturally legal on the
+// hardware-coherent machine but have nothing to do: the directory protocol
+// already keeps every cache coherent. They complete in zero exposed cycles
+// and are counted, so experiments can verify that HCC configurations are
+// not accidentally annotated.
+
+// WB is a no-op under hardware coherence.
+func (h *Hierarchy) WB(int, mem.Range, isa.Level) int64 {
+	h.ctr.Inc("ignored.wbinv", 1)
+	return 0
+}
+
+// INV is a no-op under hardware coherence.
+func (h *Hierarchy) INV(int, mem.Range, isa.Level) int64 {
+	h.ctr.Inc("ignored.wbinv", 1)
+	return 0
+}
+
+// WBAll is a no-op under hardware coherence.
+func (h *Hierarchy) WBAll(int, bool, isa.Level) int64 {
+	h.ctr.Inc("ignored.wbinv", 1)
+	return 0
+}
+
+// INVAll is a no-op under hardware coherence.
+func (h *Hierarchy) INVAll(int, bool, isa.Level) int64 {
+	h.ctr.Inc("ignored.wbinv", 1)
+	return 0
+}
+
+// WBCons is a no-op under hardware coherence.
+func (h *Hierarchy) WBCons(int, mem.Range, int) int64 {
+	h.ctr.Inc("ignored.wbinv", 1)
+	return 0
+}
+
+// InvProd is a no-op under hardware coherence.
+func (h *Hierarchy) InvProd(int, mem.Range, int) int64 {
+	h.ctr.Inc("ignored.wbinv", 1)
+	return 0
+}
+
+// WBConsAll is a no-op under hardware coherence.
+func (h *Hierarchy) WBConsAll(int, int) int64 {
+	h.ctr.Inc("ignored.wbinv", 1)
+	return 0
+}
+
+// InvProdAll is a no-op under hardware coherence.
+func (h *Hierarchy) InvProdAll(int, int) int64 {
+	h.ctr.Inc("ignored.wbinv", 1)
+	return 0
+}
+
+// SigPublish is a no-op under hardware coherence.
+func (h *Hierarchy) SigPublish(int, int) int64 {
+	h.ctr.Inc("ignored.wbinv", 1)
+	return 0
+}
+
+// INVSig is a no-op under hardware coherence.
+func (h *Hierarchy) INVSig(int, int) int64 {
+	h.ctr.Inc("ignored.wbinv", 1)
+	return 0
+}
+
+// DMACopy on the coherent machine is modeled as the initiating core
+// copying coherently word by word (a coherent machine needs no DMA engine
+// for correctness; this keeps DMA-using programs runnable under HCC).
+func (h *Hierarchy) DMACopy(core int, dst mem.Addr, src mem.Range, _ int) int64 {
+	var lat int64
+	off := int64(dst) - int64(src.Base)
+	for a := mem.WordAddr(src.Base); a < src.End(); a += mem.WordBytes {
+		v, l1 := h.Load(core, a)
+		l2 := h.Store(core, mem.Addr(int64(a)+off), v)
+		lat += l1 + l2
+	}
+	return lat
+}

@@ -1,0 +1,150 @@
+// Package noc models the on-chip interconnect of the paper's Table III: a
+// 2D mesh with 4 cycles per hop and 128-bit links. It provides Manhattan
+// hop counts between nodes, a flit cost model (one header flit per message
+// plus one flit per 16 payload bytes), and per-class flit accounting used to
+// regenerate Figure 10.
+//
+// The mesh is modeled without link contention: messages pay per-hop latency
+// but do not queue against each other. The paper's traffic comparison is in
+// flit volume, which this model counts exactly; its latency comparison is
+// dominated by cache and directory round trips, which the hierarchies model
+// on top of these hop latencies.
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Table III mesh parameters.
+const (
+	// CyclesPerHop is the per-hop link+router latency.
+	CyclesPerHop = 4
+	// LinkBytes is the link width: 128-bit links move 16 bytes per flit.
+	LinkBytes = 16
+	// HeaderFlits is the cost of a message header (routing + address +
+	// command); control-only messages are exactly one header flit.
+	HeaderFlits = 1
+)
+
+// NodeID identifies a mesh node (a core tile, cache bank, or memory port).
+type NodeID int
+
+// Coord is a mesh coordinate.
+type Coord struct{ X, Y int }
+
+// Mesh is a W×H 2D mesh with a node placement map.
+type Mesh struct {
+	w, h  int
+	place map[NodeID]Coord
+	tr    stats.Traffic
+}
+
+// New returns a W×H mesh with no placed nodes.
+func New(w, h int) *Mesh {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("noc: invalid mesh %dx%d", w, h))
+	}
+	return &Mesh{w: w, h: h, place: make(map[NodeID]Coord)}
+}
+
+// Place assigns node id to coordinate c. Placing outside the mesh panics:
+// machine construction is static and a bad placement is a programming
+// error, not a runtime condition.
+func (m *Mesh) Place(id NodeID, c Coord) {
+	if c.X < 0 || c.X >= m.w || c.Y < 0 || c.Y >= m.h {
+		panic(fmt.Sprintf("noc: coordinate %v outside %dx%d mesh", c, m.w, m.h))
+	}
+	m.place[id] = c
+}
+
+// Dims returns the mesh dimensions.
+func (m *Mesh) Dims() (w, h int) { return m.w, m.h }
+
+// Coord returns the placement of id; it panics if the node was never
+// placed, because hierarchies only route between statically placed nodes.
+func (m *Mesh) Coord(id NodeID) Coord {
+	c, ok := m.place[id]
+	if !ok {
+		panic(fmt.Sprintf("noc: node %d not placed", id))
+	}
+	return c
+}
+
+// Hops returns the Manhattan distance between two placed nodes.
+func (m *Mesh) Hops(a, b NodeID) int {
+	ca, cb := m.Coord(a), m.Coord(b)
+	return abs(ca.X-cb.X) + abs(ca.Y-cb.Y)
+}
+
+// Latency returns the one-way latency in cycles between two placed nodes.
+func (m *Mesh) Latency(a, b NodeID) int64 {
+	return int64(m.Hops(a, b)) * CyclesPerHop
+}
+
+// RTLatency returns the round-trip network latency between two nodes.
+func (m *Mesh) RTLatency(a, b NodeID) int64 { return 2 * m.Latency(a, b) }
+
+// DataFlits returns the number of flits of a message carrying n payload
+// bytes: one header flit plus ceil(n/16) payload flits.
+func DataFlits(n int) int64 {
+	if n < 0 {
+		panic("noc: negative payload")
+	}
+	return HeaderFlits + int64((n+LinkBytes-1)/LinkBytes)
+}
+
+// CtrlFlits is the size of a control-only message (request, invalidation,
+// acknowledgment): one header flit.
+func CtrlFlits() int64 { return HeaderFlits }
+
+// Send accounts a message of the given flit count traveling from a to b
+// under traffic class c, and returns its one-way latency. Flits are counted
+// once per message regardless of distance, matching the paper's "number of
+// 128-bit flits" metric for Figure 10; latency still depends on hops.
+func (m *Mesh) Send(a, b NodeID, flits int64, c stats.TrafficClass) int64 {
+	m.tr.Add(c, flits)
+	return m.Latency(a, b)
+}
+
+// Account adds flits to class c without a latency result, for messages
+// whose timing is already folded into a round-trip cost.
+func (m *Mesh) Account(c stats.TrafficClass, flits int64) { m.tr.Add(c, flits) }
+
+// Traffic returns the accumulated flit counts.
+func (m *Mesh) Traffic() stats.Traffic { return m.tr }
+
+// ResetTraffic clears the accumulated flit counts.
+func (m *Mesh) ResetTraffic() { m.tr = stats.Traffic{} }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// PlaceGrid places ids[0..w*h) in row-major order across the whole mesh.
+// It is the standard placement for one-tile-per-node machines (16 cores on
+// a 4×4 mesh, each tile holding a core, its L1, and one L2 bank).
+func (m *Mesh) PlaceGrid(ids []NodeID) {
+	if len(ids) != m.w*m.h {
+		panic(fmt.Sprintf("noc: PlaceGrid got %d ids for %dx%d mesh", len(ids), m.w, m.h))
+	}
+	for i, id := range ids {
+		m.Place(id, Coord{X: i % m.w, Y: i / m.w})
+	}
+}
+
+// Corners returns the four corner coordinates of the mesh, where Table III
+// attaches the off-chip memory ports (and where the inter-block machine
+// places its four L3 banks).
+func (m *Mesh) Corners() [4]Coord {
+	return [4]Coord{
+		{0, 0},
+		{m.w - 1, 0},
+		{0, m.h - 1},
+		{m.w - 1, m.h - 1},
+	}
+}

@@ -1,0 +1,161 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func grid4x4() *Mesh {
+	m := New(4, 4)
+	ids := make([]NodeID, 16)
+	for i := range ids {
+		ids[i] = NodeID(i)
+	}
+	m.PlaceGrid(ids)
+	return m
+}
+
+func TestHopsManhattan(t *testing.T) {
+	m := grid4x4()
+	cases := []struct {
+		a, b NodeID
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 4, 1},
+		{0, 5, 2},
+		{0, 15, 6},
+		{3, 12, 6},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHopsSymmetric(t *testing.T) {
+	m := grid4x4()
+	f := func(a, b uint8) bool {
+		x, y := NodeID(a%16), NodeID(b%16)
+		return m.Hops(x, y) == m.Hops(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHopsTriangleInequality(t *testing.T) {
+	m := grid4x4()
+	f := func(a, b, c uint8) bool {
+		x, y, z := NodeID(a%16), NodeID(b%16), NodeID(c%16)
+		return m.Hops(x, z) <= m.Hops(x, y)+m.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	m := grid4x4()
+	if got := m.Latency(0, 15); got != 6*CyclesPerHop {
+		t.Errorf("Latency(0,15) = %d", got)
+	}
+	if got := m.RTLatency(0, 15); got != 12*CyclesPerHop {
+		t.Errorf("RTLatency(0,15) = %d", got)
+	}
+}
+
+func TestDataFlits(t *testing.T) {
+	cases := []struct {
+		bytes int
+		want  int64
+	}{
+		{0, 1},  // header only
+		{1, 2},  // one partial payload flit
+		{16, 2}, // exactly one payload flit
+		{17, 3}, // spills into a second
+		{64, 5}, // a full cache line: 1 header + 4 payload flits
+		{4, 2},  // a single dirty word
+		{28, 3}, // seven dirty words
+	}
+	for _, c := range cases {
+		if got := DataFlits(c.bytes); got != c.want {
+			t.Errorf("DataFlits(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+	if CtrlFlits() != 1 {
+		t.Error("control messages should be one flit")
+	}
+}
+
+func TestDataFlitsMonotonic(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return DataFlits(x) <= DataFlits(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSendAccountsTraffic(t *testing.T) {
+	m := grid4x4()
+	lat := m.Send(0, 5, DataFlits(64), stats.Linefill)
+	if lat != 2*CyclesPerHop {
+		t.Errorf("latency = %d", lat)
+	}
+	m.Send(5, 0, CtrlFlits(), stats.Invalidation)
+	tr := m.Traffic()
+	if tr[stats.Linefill] != 5 || tr[stats.Invalidation] != 1 {
+		t.Errorf("traffic = %v", tr)
+	}
+	m.ResetTraffic()
+	if after := m.Traffic(); after.Total() != 0 {
+		t.Error("reset did not clear traffic")
+	}
+}
+
+func TestPlaceGridCoversMesh(t *testing.T) {
+	m := grid4x4()
+	seen := map[Coord]bool{}
+	for i := 0; i < 16; i++ {
+		seen[m.Coord(NodeID(i))] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("grid placement has %d distinct coords", len(seen))
+	}
+}
+
+func TestCorners(t *testing.T) {
+	m := New(8, 4)
+	c := m.Corners()
+	want := [4]Coord{{0, 0}, {7, 0}, {0, 3}, {7, 3}}
+	if c != want {
+		t.Errorf("Corners = %v, want %v", c, want)
+	}
+}
+
+func TestPlacePanicsOutsideMesh(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-mesh placement")
+		}
+	}()
+	New(2, 2).Place(0, Coord{5, 0})
+}
+
+func TestCoordPanicsForUnplaced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unplaced node")
+		}
+	}()
+	New(2, 2).Coord(7)
+}

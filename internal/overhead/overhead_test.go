@@ -1,0 +1,64 @@
+package overhead
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperMachineSavingsNearPaperValue(t *testing.T) {
+	r := Compute(PaperMachine())
+	kb := r.Savings().KB()
+	// Section VII-A reports "about 102 KB"; the model reproduces it to
+	// within a few KB (the paper does not publish its exact breakdown).
+	if kb < 95 || kb > 110 {
+		t.Errorf("savings = %.2f KB, want ~102 KB\n%s", kb, r.Render())
+	}
+}
+
+func TestCoherentDominatedByDirectories(t *testing.T) {
+	r := Compute(PaperMachine())
+	dir := r.Coherent[0].Bits + r.Coherent[1].Bits
+	if dir*2 < r.CoherentTotal() {
+		t.Error("directories should dominate coherent storage")
+	}
+}
+
+func TestIncoherentBuffersTiny(t *testing.T) {
+	r := Compute(PaperMachine())
+	meb, ieb := r.Incoherent[0].Bits, r.Incoherent[1].Bits
+	if meb.KB() > 1 || ieb.KB() > 1 {
+		t.Errorf("entry buffers should be under 1 KB each (MEB %.2f, IEB %.2f)", meb.KB(), ieb.KB())
+	}
+}
+
+func TestMEBEntrySizeMatchesTableIII(t *testing.T) {
+	// 32-KB cache, 64-B lines: 512 frames, so 9-bit IDs + valid = 10 bits
+	// per entry, 16 entries per core, 32 cores.
+	r := Compute(PaperMachine())
+	if got := int64(r.Incoherent[0].Bits); got != 32*16*10 {
+		t.Errorf("MEB bits = %d, want %d", got, 32*16*10)
+	}
+	if got := int64(r.Incoherent[1].Bits); got != 32*4*41 {
+		t.Errorf("IEB bits = %d, want %d", got, 32*4*41)
+	}
+}
+
+func TestRenderMentionsTotals(t *testing.T) {
+	out := Compute(PaperMachine()).Render()
+	for _, want := range []string{"Hardware-coherent", "Hardware-incoherent", "saves", "MEB", "IEB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestScalesWithMachine(t *testing.T) {
+	small := PaperMachine()
+	small.Blocks = 1
+	small.L3Bytes = 0
+	rs := Compute(small)
+	rb := Compute(PaperMachine())
+	if rs.CoherentTotal() >= rb.CoherentTotal() {
+		t.Error("smaller machine should need less coherent storage")
+	}
+}

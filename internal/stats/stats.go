@@ -1,0 +1,322 @@
+// Package stats holds the measurement vocabulary shared by the simulators:
+// stall categories matching the paper's Figure 9 breakdown, network traffic
+// classes matching Figure 10, and text renderers for normalized stacked-bar
+// tables so the benchmark harness can print the same rows the paper plots.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// StallKind classifies where a thread's cycles went. The first five match
+// the paper's Figure 9 categories; Flag waits are tracked separately and
+// folded into Lock for rendering (the paper's applications treat flag
+// spinning as lock-like synchronization stall).
+type StallKind int
+
+const (
+	// Busy is computation plus pipelined memory access ("rest of the
+	// execution" in Figure 9).
+	Busy StallKind = iota
+	// INVStall is exposed latency of self-invalidation instructions.
+	INVStall
+	// WBStall is exposed latency of writeback instructions.
+	WBStall
+	// LockStall is time spent waiting for lock acquires.
+	LockStall
+	// BarrierStall is time spent waiting at barriers.
+	BarrierStall
+	// FlagStall is time spent waiting on condition flags (reported under
+	// LockStall in figure output).
+	FlagStall
+	// MemStall is exposed cache-miss latency (part of "rest" in the paper's
+	// breakdown but kept separate internally for diagnosis).
+	MemStall
+
+	NumStallKinds
+)
+
+var stallNames = [...]string{"busy", "inv", "wb", "lock", "barrier", "flag", "mem"}
+
+func (k StallKind) String() string {
+	if k < 0 || int(k) >= len(stallNames) {
+		return fmt.Sprintf("stall(%d)", int(k))
+	}
+	return stallNames[k]
+}
+
+// Stalls accumulates cycles per stall category.
+type Stalls [NumStallKinds]int64
+
+// Add accumulates cycles into category k.
+func (s *Stalls) Add(k StallKind, cycles int64) { s[k] += cycles }
+
+// Total returns the sum over all categories.
+func (s *Stalls) Total() int64 {
+	var t int64
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// Merge adds o into s.
+func (s *Stalls) Merge(o *Stalls) {
+	for i := range s {
+		s[i] += o[i]
+	}
+}
+
+// Figure9 returns the five-category breakdown used by the paper's Figure 9:
+// INV stall, WB stall, lock stall (including flag waits), barrier stall, and
+// rest (busy plus exposed miss latency).
+func (s *Stalls) Figure9() (inv, wb, lock, barrier, rest int64) {
+	return s[INVStall], s[WBStall], s[LockStall] + s[FlagStall], s[BarrierStall], s[Busy] + s[MemStall]
+}
+
+// TrafficClass classifies network flits. The first four match the paper's
+// Figure 10 breakdown; Sync covers uncacheable synchronization requests,
+// which Figure 10 omits.
+type TrafficClass int
+
+const (
+	// Linefill is data brought into a cache on a read or write miss.
+	Linefill TrafficClass = iota
+	// Writeback is dirty data pushed toward a shared cache (explicit WB
+	// instructions, evictions, and directory-forced downgrades).
+	Writeback
+	// Invalidation is coherence invalidation requests and acknowledgments
+	// (hardware-coherent configurations only; self-invalidation is local
+	// and generates none).
+	Invalidation
+	// MemoryTraffic is traffic between the last-level cache and off-chip
+	// memory.
+	MemoryTraffic
+	// SyncTraffic is uncacheable synchronization requests and grants.
+	SyncTraffic
+
+	NumTrafficClasses
+)
+
+var trafficNames = [...]string{"linefill", "writeback", "invalidation", "memory", "sync"}
+
+func (c TrafficClass) String() string {
+	if c < 0 || int(c) >= len(trafficNames) {
+		return fmt.Sprintf("traffic(%d)", int(c))
+	}
+	return trafficNames[c]
+}
+
+// Traffic accumulates 128-bit flits per class.
+type Traffic [NumTrafficClasses]int64
+
+// Add accumulates flits into class c.
+func (t *Traffic) Add(c TrafficClass, flits int64) { t[c] += flits }
+
+// Total returns the flit count over all classes.
+func (t *Traffic) Total() int64 {
+	var n int64
+	for _, v := range t {
+		n += v
+	}
+	return n
+}
+
+// Figure10 returns the four-class breakdown of the paper's Figure 10
+// (linefill, writeback, invalidation, memory), excluding sync traffic.
+func (t *Traffic) Figure10() (linefill, writeback, invalidation, memory int64) {
+	return t[Linefill], t[Writeback], t[Invalidation], t[MemoryTraffic]
+}
+
+// Counters is a named bag of monotonically increasing event counts used by
+// the hierarchies for protocol-level events (hits, misses, WBs issued,
+// lines invalidated, MEB overflows, ...).
+type Counters struct {
+	m map[string]int64
+}
+
+// NewCounters returns an empty counter bag.
+func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+
+// Inc adds n to counter name.
+func (c *Counters) Inc(name string, n int64) { c.m[name] += n }
+
+// Get returns counter name (zero if never incremented).
+func (c *Counters) Get(name string) int64 { return c.m[name] }
+
+// Names returns all counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds all of o's counters into c.
+func (c *Counters) Merge(o *Counters) {
+	for k, v := range o.m {
+		c.m[k] += v
+	}
+}
+
+// Bar is one stacked bar of a normalized figure: a label plus segment
+// values in the figure's category order.
+type Bar struct {
+	Label    string
+	Segments []float64
+}
+
+// Height returns the bar's total height.
+func (b Bar) Height() float64 {
+	var h float64
+	for _, s := range b.Segments {
+		h += s
+	}
+	return h
+}
+
+// Figure is a printable reproduction of one of the paper's normalized
+// stacked-bar figures: groups of bars (one group per application), each
+// normalized to the group's reference bar.
+type Figure struct {
+	Title      string
+	Categories []string
+	Groups     []Group
+}
+
+// Group is one application's set of bars.
+type Group struct {
+	Name string
+	Bars []Bar
+}
+
+// Render prints the figure as a fixed-width text table: one row per bar,
+// with per-category segments and the total, all normalized values.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	fmt.Fprintf(&b, "%-16s %-10s", "app", "config")
+	for _, c := range f.Categories {
+		fmt.Fprintf(&b, " %10s", c)
+	}
+	fmt.Fprintf(&b, " %10s\n", "total")
+	for _, g := range f.Groups {
+		for _, bar := range g.Bars {
+			fmt.Fprintf(&b, "%-16s %-10s", g.Name, bar.Label)
+			for _, s := range bar.Segments {
+				fmt.Fprintf(&b, " %10.3f", s)
+			}
+			fmt.Fprintf(&b, " %10.3f\n", bar.Height())
+		}
+	}
+	return b.String()
+}
+
+// GeoMeanTotals returns, for each bar label, the geometric mean across
+// groups of the bar's total height. The paper's "average" bars over
+// normalized execution times are means over the per-application ratios;
+// the geometric mean is the standard aggregation for normalized ratios.
+func (f *Figure) GeoMeanTotals() map[string]float64 {
+	prod := make(map[string]float64)
+	n := make(map[string]int)
+	for _, g := range f.Groups {
+		for _, bar := range g.Bars {
+			if _, ok := prod[bar.Label]; !ok {
+				prod[bar.Label] = 1
+			}
+			prod[bar.Label] *= bar.Height()
+			n[bar.Label]++
+		}
+	}
+	out := make(map[string]float64, len(prod))
+	for label, p := range prod {
+		out[label] = pow(p, 1/float64(n[label]))
+	}
+	return out
+}
+
+// MeanTotals returns the arithmetic mean of bar totals per label, matching
+// how the paper's "Average" group is computed in Figures 9-12.
+func (f *Figure) MeanTotals() map[string]float64 {
+	sum := make(map[string]float64)
+	n := make(map[string]int)
+	for _, g := range f.Groups {
+		for _, bar := range g.Bars {
+			sum[bar.Label] += bar.Height()
+			n[bar.Label]++
+		}
+	}
+	out := make(map[string]float64, len(sum))
+	for label, s := range sum {
+		out[label] = s / float64(n[label])
+	}
+	return out
+}
+
+func pow(x, y float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, y)
+}
+
+// RenderBars prints the figure as horizontal ASCII bars (one per config
+// bar, segments marked by category initials), scaled so the largest bar
+// spans width characters. It complements Render for quick visual reading
+// in terminals.
+func (f *Figure) RenderBars(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var maxH float64
+	for _, g := range f.Groups {
+		for _, bar := range g.Bars {
+			if h := bar.Height(); h > maxH {
+				maxH = h
+			}
+		}
+	}
+	if maxH == 0 {
+		maxH = 1
+	}
+	marks := make([]byte, len(f.Categories))
+	for i, c := range f.Categories {
+		if len(c) > 0 {
+			marks[i] = c[0]
+		} else {
+			marks[i] = '#'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	for _, g := range f.Groups {
+		fmt.Fprintf(&b, "%s\n", g.Name)
+		for _, bar := range g.Bars {
+			fmt.Fprintf(&b, "  %-8s ", bar.Label)
+			for i, s := range bar.Segments {
+				n := int(s / maxH * float64(width))
+				mark := byte('#')
+				if i < len(marks) {
+					mark = marks[i]
+				}
+				for k := 0; k < n; k++ {
+					b.WriteByte(mark)
+				}
+			}
+			fmt.Fprintf(&b, " %.3f\n", bar.Height())
+		}
+	}
+	if len(f.Categories) > 0 {
+		b.WriteString("legend:")
+		for i, c := range f.Categories {
+			fmt.Fprintf(&b, " %c=%s", marks[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

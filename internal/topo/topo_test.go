@@ -1,0 +1,125 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestIntraBlockShape(t *testing.T) {
+	m := NewIntraBlock()
+	if m.NumCores() != 16 || m.Blocks != 1 || m.L3Banks != 0 {
+		t.Fatalf("shape = %d cores, %d blocks, %d L3 banks", m.NumCores(), m.Blocks, m.L3Banks)
+	}
+	if w, h := m.Mesh.Dims(); w != 4 || h != 4 {
+		t.Errorf("mesh = %dx%d, want 4x4", w, h)
+	}
+	for c := 0; c < 16; c++ {
+		if m.BlockOf(c) != 0 {
+			t.Errorf("core %d in block %d", c, m.BlockOf(c))
+		}
+	}
+}
+
+func TestInterBlockShape(t *testing.T) {
+	m := NewInterBlock()
+	if m.NumCores() != 32 || m.Blocks != 4 || m.L3Banks != 4 {
+		t.Fatalf("shape = %d cores, %d blocks, %d L3 banks", m.NumCores(), m.Blocks, m.L3Banks)
+	}
+	if w, h := m.Mesh.Dims(); w != 8 || h != 4 {
+		t.Errorf("mesh = %dx%d, want 8x4", w, h)
+	}
+	if m.BlockOf(7) != 0 || m.BlockOf(8) != 1 || m.BlockOf(31) != 3 {
+		t.Error("block assignment wrong")
+	}
+}
+
+func TestBlockTilesAreContiguous(t *testing.T) {
+	m := NewInterBlock()
+	// All cores of one block must be closer to each other than the mesh
+	// diameter, and distinct cores get distinct tiles.
+	seen := map[[2]int]bool{}
+	for c := 0; c < m.NumCores(); c++ {
+		co := m.Mesh.Coord(m.CoreNode(c))
+		key := [2]int{co.X, co.Y}
+		if seen[key] {
+			t.Fatalf("core %d shares a tile", c)
+		}
+		seen[key] = true
+	}
+	// Within a block, max distance must be at most bw+bh-2 = 7 for an 8x1
+	// block row.
+	for b := 0; b < m.Blocks; b++ {
+		for i := 0; i < m.CoresPerBlock; i++ {
+			for j := i + 1; j < m.CoresPerBlock; j++ {
+				ci, cj := b*m.CoresPerBlock+i, b*m.CoresPerBlock+j
+				if h := m.Mesh.Hops(m.CoreNode(ci), m.CoreNode(cj)); h > 7 {
+					t.Errorf("cores %d,%d in block %d are %d hops apart", ci, cj, b, h)
+				}
+			}
+		}
+	}
+}
+
+func TestL2BankInterleaving(t *testing.T) {
+	m := NewIntraBlock()
+	if m.L2BankOf(0) != 0 || m.L2BankOf(64) != 1 || m.L2BankOf(64*16) != 0 {
+		t.Error("L2 bank interleave wrong")
+	}
+	// A bank node must be a core tile of the same block.
+	n := m.L2BankNode(0, 64*5)
+	if int(n) != 5 {
+		t.Errorf("bank node = %d, want tile 5", n)
+	}
+}
+
+func TestL2BankNodeInBlock(t *testing.T) {
+	m := NewInterBlock()
+	for b := 0; b < m.Blocks; b++ {
+		for line := mem.Addr(0); line < 64*32; line += 64 {
+			n := int(m.L2BankNode(b, line))
+			if n/m.CoresPerBlock != b {
+				t.Fatalf("bank node %d for block %d is outside the block", n, b)
+			}
+		}
+	}
+}
+
+func TestL3AndMemPlacement(t *testing.T) {
+	m := NewInterBlock()
+	for line := mem.Addr(0); line < 64*8; line += 64 {
+		// Must not panic: nodes are placed.
+		m.Mesh.Coord(m.L3Node(line))
+		m.Mesh.Coord(m.MemNode(line))
+	}
+	if m.L3BankOf(0) == m.L3BankOf(64) {
+		t.Error("adjacent lines should hit different L3 banks")
+	}
+}
+
+func TestSyncCostPositive(t *testing.T) {
+	for _, m := range []*Machine{NewIntraBlock(), NewInterBlock()} {
+		for c := 0; c < m.NumCores(); c++ {
+			if cost := m.SyncCost(c, 3); cost < m.Params.SyncService {
+				t.Errorf("sync cost %d below service time", cost)
+			}
+		}
+	}
+}
+
+func TestDefaultParamsMatchTableIII(t *testing.T) {
+	p := DefaultParams()
+	if p.L1RT != 2 || p.L2RT != 11 || p.L3RT != 20 || p.MemRT != 150 {
+		t.Errorf("params = %+v", p)
+	}
+}
+
+func TestCustomMachine(t *testing.T) {
+	m := NewCustom(2, 4, 2, DefaultParams())
+	if m.NumCores() != 8 {
+		t.Fatal("custom machine core count")
+	}
+	if m.BlockOf(3) != 0 || m.BlockOf(4) != 1 {
+		t.Error("custom block mapping")
+	}
+}

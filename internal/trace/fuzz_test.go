@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// FuzzDecodeRobustness feeds arbitrary bytes to the reader: it must never
+// panic, only return errors or valid ops.
+func FuzzDecodeRobustness(f *testing.F) {
+	var seed bytes.Buffer
+	w, _ := NewWriter(&seed)
+	w.Append(isa.Op{Kind: isa.OpLoad, Addr: 0x40})
+	w.Append(isa.Op{Kind: isa.OpBarrier, ID: 1})
+	w.Close()
+	f.Add(seed.Bytes())
+	f.Add([]byte("HICT\x01garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			op, err := r.Next()
+			if err != nil {
+				return
+			}
+			if op.Kind < 0 || op.Kind >= isa.NumOpKinds {
+				t.Fatalf("decoded invalid op kind %d", op.Kind)
+			}
+		}
+	})
+}
+
+// FuzzEncodeRoundTrip encodes a pseudo-op built from fuzz inputs and
+// checks it decodes identically.
+func FuzzEncodeRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint32(0x40), uint32(64), int32(3), uint32(9), int64(100))
+	f.Fuzz(func(t *testing.T, kind uint8, a, n uint32, peer int32, val uint32, cyc int64) {
+		op := isa.Op{
+			Kind:   isa.OpKind(kind % uint8(isa.NumOpKinds)),
+			Addr:   mem.Addr(a),
+			Range:  mem.RangeOf(mem.Addr(a), n),
+			Peer:   int(peer),
+			ID:     int(peer),
+			Value:  mem.Word(val),
+			Cycles: cyc,
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Append(op)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The String form captures all kind-relevant fields.
+		if got.String() != op.String() {
+			t.Fatalf("round trip: got %v, want %v", got, op)
+		}
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("expected EOF, got %v", err)
+		}
+	})
+}

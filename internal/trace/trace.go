@@ -1,0 +1,393 @@
+// Package trace records and replays guest instruction streams in a
+// compact binary format. Recording wraps a guest so every operation it
+// issues is appended to a writer; replaying turns such a stream back into
+// a guest that re-issues the identical operations.
+//
+// Replay is trace-driven simulation in the classic sense: the control flow
+// is the recorded execution's, so replaying under a different machine
+// configuration gives that configuration's timing for the same dynamic
+// instruction stream. This is how execution-driven results can be compared
+// against trace-driven ones, and how a problematic run can be captured for
+// regression.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// magic and version identify the stream format.
+var magic = [4]byte{'H', 'I', 'C', 'T'}
+
+const version = 1
+
+// record is the fixed-size on-disk form of one operation.
+type record struct {
+	Kind  uint8
+	Flags uint8 // bit0 UseMEB, bit1 Lazy, bit2 LevelGlobal
+	A     uint32
+	B     uint32
+	Peer  int32
+	Val   uint32
+	Cyc   int64
+}
+
+const (
+	flagMEB    = 1 << 0
+	flagLazy   = 1 << 1
+	flagGlobal = 1 << 2
+)
+
+func toRecord(op isa.Op) record {
+	r := record{
+		Kind: uint8(op.Kind),
+		A:    uint32(op.Range.Base),
+		B:    op.Range.Bytes,
+		Peer: int32(op.Peer),
+		Val:  uint32(op.Value),
+		Cyc:  op.Cycles,
+	}
+	switch op.Kind {
+	case isa.OpLoad, isa.OpStore, isa.OpLoadU, isa.OpStoreU:
+		r.A = uint32(op.Addr)
+	case isa.OpAcquire, isa.OpRelease, isa.OpBarrier, isa.OpFlagSet, isa.OpFlagWait,
+		isa.OpSigPublish, isa.OpINVSig:
+		r.Peer = int32(op.ID)
+	case isa.OpDMACopy:
+		r.Val = uint32(op.Addr) // destination base rides the value slot
+	}
+	if op.UseMEB {
+		r.Flags |= flagMEB
+	}
+	if op.Lazy {
+		r.Flags |= flagLazy
+	}
+	if op.Level == isa.LevelGlobal {
+		r.Flags |= flagGlobal
+	}
+	return r
+}
+
+func (r record) op() isa.Op {
+	op := isa.Op{
+		Kind:   isa.OpKind(r.Kind),
+		Range:  mem.Range{Base: mem.Addr(r.A), Bytes: r.B},
+		Peer:   int(r.Peer),
+		Value:  mem.Word(r.Val),
+		Cycles: r.Cyc,
+		UseMEB: r.Flags&flagMEB != 0,
+		Lazy:   r.Flags&flagLazy != 0,
+	}
+	if r.Flags&flagGlobal != 0 {
+		op.Level = isa.LevelGlobal
+	}
+	switch op.Kind {
+	case isa.OpLoad, isa.OpStore, isa.OpLoadU, isa.OpStoreU:
+		op.Addr = mem.Addr(r.A)
+	case isa.OpAcquire, isa.OpRelease, isa.OpBarrier, isa.OpFlagSet, isa.OpFlagWait,
+		isa.OpSigPublish, isa.OpINVSig:
+		op.ID = int(r.Peer)
+	case isa.OpDMACopy:
+		op.Addr = mem.Addr(r.Val)
+		op.Value = 0
+	}
+	return op
+}
+
+// Writer records one thread's operation stream.
+type Writer struct {
+	bw  *bufio.Writer
+	n   int64
+	err error
+}
+
+// NewWriter starts a stream on w with the format header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// Append writes one operation.
+func (w *Writer) Append(op isa.Op) {
+	if w.err != nil {
+		return
+	}
+	w.err = binary.Write(w.bw, binary.LittleEndian, toRecord(op))
+	w.n++
+}
+
+// Close flushes the stream and reports the first error encountered.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// Len returns the number of operations appended.
+func (w *Writer) Len() int64 { return w.n }
+
+// Reader iterates a recorded stream.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader validates the header and returns a stream reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	v, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	return &Reader{br: br}, nil
+}
+
+// Next returns the next operation, or io.EOF.
+func (r *Reader) Next() (isa.Op, error) {
+	var rec record
+	if err := binary.Read(r.br, binary.LittleEndian, &rec); err != nil {
+		return isa.Op{}, err
+	}
+	if rec.Kind >= uint8(isa.NumOpKinds) {
+		return isa.Op{}, fmt.Errorf("trace: corrupt record kind %d", rec.Kind)
+	}
+	return rec.op(), nil
+}
+
+// Record wraps a guest so that every operation it issues is appended to w.
+// The caller must Close w after the run.
+func Record(g engine.Guest, w *Writer) engine.Guest {
+	return func(p engine.Proc) {
+		g(&recordingProc{Proc: p, w: w})
+	}
+}
+
+// recordingProc forwards every operation and logs it.
+type recordingProc struct {
+	engine.Proc
+	w *Writer
+}
+
+func (rp *recordingProc) log(op isa.Op) { rp.w.Append(op) }
+
+func (rp *recordingProc) Load(a mem.Addr) mem.Word {
+	rp.log(isa.Op{Kind: isa.OpLoad, Addr: a})
+	return rp.Proc.Load(a)
+}
+func (rp *recordingProc) Store(a mem.Addr, v mem.Word) {
+	rp.log(isa.Op{Kind: isa.OpStore, Addr: a, Value: v})
+	rp.Proc.Store(a, v)
+}
+func (rp *recordingProc) LoadU(a mem.Addr) mem.Word {
+	rp.log(isa.Op{Kind: isa.OpLoadU, Addr: a})
+	return rp.Proc.LoadU(a)
+}
+func (rp *recordingProc) StoreU(a mem.Addr, v mem.Word) {
+	rp.log(isa.Op{Kind: isa.OpStoreU, Addr: a, Value: v})
+	rp.Proc.StoreU(a, v)
+}
+func (rp *recordingProc) Compute(c int64) {
+	if c <= 0 {
+		return
+	}
+	rp.log(isa.Op{Kind: isa.OpCompute, Cycles: c})
+	rp.Proc.Compute(c)
+}
+func (rp *recordingProc) WB(r mem.Range) {
+	rp.log(isa.Op{Kind: isa.OpWB, Range: r})
+	rp.Proc.WB(r)
+}
+func (rp *recordingProc) INV(r mem.Range) {
+	rp.log(isa.Op{Kind: isa.OpINV, Range: r})
+	rp.Proc.INV(r)
+}
+func (rp *recordingProc) WBGlobal(r mem.Range) {
+	rp.log(isa.Op{Kind: isa.OpWB, Range: r, Level: isa.LevelGlobal})
+	rp.Proc.WBGlobal(r)
+}
+func (rp *recordingProc) INVGlobal(r mem.Range) {
+	rp.log(isa.Op{Kind: isa.OpINV, Range: r, Level: isa.LevelGlobal})
+	rp.Proc.INVGlobal(r)
+}
+func (rp *recordingProc) WBAll() {
+	rp.log(isa.Op{Kind: isa.OpWBAll})
+	rp.Proc.WBAll()
+}
+func (rp *recordingProc) WBAllMEB() {
+	rp.log(isa.Op{Kind: isa.OpWBAll, UseMEB: true})
+	rp.Proc.WBAllMEB()
+}
+func (rp *recordingProc) WBAllGlobal() {
+	rp.log(isa.Op{Kind: isa.OpWBAll, Level: isa.LevelGlobal})
+	rp.Proc.WBAllGlobal()
+}
+func (rp *recordingProc) INVAll() {
+	rp.log(isa.Op{Kind: isa.OpINVAll})
+	rp.Proc.INVAll()
+}
+func (rp *recordingProc) INVAllLazy() {
+	rp.log(isa.Op{Kind: isa.OpINVAll, Lazy: true})
+	rp.Proc.INVAllLazy()
+}
+func (rp *recordingProc) INVAllGlobal() {
+	rp.log(isa.Op{Kind: isa.OpINVAll, Level: isa.LevelGlobal})
+	rp.Proc.INVAllGlobal()
+}
+func (rp *recordingProc) WBCons(r mem.Range, cons int) {
+	rp.log(isa.Op{Kind: isa.OpWBCons, Range: r, Peer: cons})
+	rp.Proc.WBCons(r, cons)
+}
+func (rp *recordingProc) InvProd(r mem.Range, prod int) {
+	rp.log(isa.Op{Kind: isa.OpInvProd, Range: r, Peer: prod})
+	rp.Proc.InvProd(r, prod)
+}
+func (rp *recordingProc) WBConsAll(cons int) {
+	rp.log(isa.Op{Kind: isa.OpWBConsAll, Peer: cons})
+	rp.Proc.WBConsAll(cons)
+}
+func (rp *recordingProc) InvProdAll(prod int) {
+	rp.log(isa.Op{Kind: isa.OpInvProdAll, Peer: prod})
+	rp.Proc.InvProdAll(prod)
+}
+func (rp *recordingProc) DMACopy(dst mem.Addr, src mem.Range, toBlock int) {
+	rp.log(isa.Op{Kind: isa.OpDMACopy, Addr: dst, Range: src, Peer: toBlock})
+	rp.Proc.DMACopy(dst, src, toBlock)
+}
+func (rp *recordingProc) SigPublish(ch int) {
+	rp.log(isa.Op{Kind: isa.OpSigPublish, ID: ch})
+	rp.Proc.SigPublish(ch)
+}
+func (rp *recordingProc) INVSig(ch int) {
+	rp.log(isa.Op{Kind: isa.OpINVSig, ID: ch})
+	rp.Proc.INVSig(ch)
+}
+func (rp *recordingProc) Acquire(l int) {
+	rp.log(isa.Op{Kind: isa.OpAcquire, ID: l})
+	rp.Proc.Acquire(l)
+}
+func (rp *recordingProc) Release(l int) {
+	rp.log(isa.Op{Kind: isa.OpRelease, ID: l})
+	rp.Proc.Release(l)
+}
+func (rp *recordingProc) Barrier(id int) {
+	rp.log(isa.Op{Kind: isa.OpBarrier, ID: id})
+	rp.Proc.Barrier(id)
+}
+func (rp *recordingProc) FlagSet(id int, v int64) {
+	rp.log(isa.Op{Kind: isa.OpFlagSet, ID: id, Value: mem.Word(v)})
+	rp.Proc.FlagSet(id, v)
+}
+func (rp *recordingProc) FlagWait(id int, th int64) {
+	rp.log(isa.Op{Kind: isa.OpFlagWait, ID: id, Value: mem.Word(th)})
+	rp.Proc.FlagWait(id, th)
+}
+
+// Replay turns a recorded stream into a guest that re-issues it.
+func Replay(r *Reader) engine.Guest {
+	return func(p engine.Proc) {
+		for {
+			op, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				panic(fmt.Sprintf("trace: %v", err))
+			}
+			issue(p, op)
+		}
+	}
+}
+
+// issue replays one operation on p.
+func issue(p engine.Proc, op isa.Op) {
+	switch op.Kind {
+	case isa.OpLoad:
+		p.Load(op.Addr)
+	case isa.OpStore:
+		p.Store(op.Addr, op.Value)
+	case isa.OpLoadU:
+		p.LoadU(op.Addr)
+	case isa.OpStoreU:
+		p.StoreU(op.Addr, op.Value)
+	case isa.OpCompute:
+		p.Compute(op.Cycles)
+	case isa.OpWB:
+		if op.Level == isa.LevelGlobal {
+			p.WBGlobal(op.Range)
+		} else {
+			p.WB(op.Range)
+		}
+	case isa.OpINV:
+		if op.Level == isa.LevelGlobal {
+			p.INVGlobal(op.Range)
+		} else {
+			p.INV(op.Range)
+		}
+	case isa.OpWBAll:
+		switch {
+		case op.UseMEB:
+			p.WBAllMEB()
+		case op.Level == isa.LevelGlobal:
+			p.WBAllGlobal()
+		default:
+			p.WBAll()
+		}
+	case isa.OpINVAll:
+		switch {
+		case op.Lazy:
+			p.INVAllLazy()
+		case op.Level == isa.LevelGlobal:
+			p.INVAllGlobal()
+		default:
+			p.INVAll()
+		}
+	case isa.OpWBCons:
+		p.WBCons(op.Range, op.Peer)
+	case isa.OpInvProd:
+		p.InvProd(op.Range, op.Peer)
+	case isa.OpWBConsAll:
+		p.WBConsAll(op.Peer)
+	case isa.OpInvProdAll:
+		p.InvProdAll(op.Peer)
+	case isa.OpDMACopy:
+		p.DMACopy(op.Addr, op.Range, op.Peer)
+	case isa.OpSigPublish:
+		p.SigPublish(op.ID)
+	case isa.OpINVSig:
+		p.INVSig(op.ID)
+	case isa.OpAcquire:
+		p.Acquire(op.ID)
+	case isa.OpRelease:
+		p.Release(op.ID)
+	case isa.OpBarrier:
+		p.Barrier(op.ID)
+	case isa.OpFlagSet:
+		p.FlagSet(op.ID, int64(op.Value))
+	case isa.OpFlagWait:
+		p.FlagWait(op.ID, int64(op.Value))
+	default:
+		panic(fmt.Sprintf("trace: cannot replay op %v", op))
+	}
+}

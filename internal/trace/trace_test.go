@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/annotate"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/topo"
+)
+
+func TestRoundTripEncoding(t *testing.T) {
+	ops := []isa.Op{
+		{Kind: isa.OpLoad, Addr: 0x1234},
+		{Kind: isa.OpStore, Addr: 0x5678, Value: 99},
+		{Kind: isa.OpCompute, Cycles: 12345},
+		{Kind: isa.OpWB, Range: mem.RangeOf(0x100, 64)},
+		{Kind: isa.OpINV, Range: mem.RangeOf(0x200, 128), Level: isa.LevelGlobal},
+		{Kind: isa.OpWBAll, UseMEB: true},
+		{Kind: isa.OpINVAll, Lazy: true},
+		{Kind: isa.OpWBCons, Range: mem.RangeOf(0x300, 4), Peer: 17},
+		{Kind: isa.OpInvProd, Range: mem.RangeOf(0x400, 4), Peer: 3},
+		{Kind: isa.OpAcquire, ID: 7},
+		{Kind: isa.OpBarrier, ID: 0},
+		{Kind: isa.OpFlagSet, ID: 5, Value: 2},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		w.Append(op)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != int64(len(ops)) {
+		t.Errorf("Len = %d", w.Len())
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range ops {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("op %d: got %v, want %v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestBadHeaderRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("bad magic should be rejected")
+	}
+}
+
+func newHier() *core.Hierarchy {
+	m := topo.NewIntraBlock()
+	cfg := core.DefaultConfig(m)
+	cfg.MEBEntries = 16
+	cfg.IEBEntries = 4
+	return core.New(m, cfg)
+}
+
+// Record a run, replay the traces on a fresh identical machine, and check
+// that cycles and traffic match exactly (the replay is the same dynamic
+// instruction stream).
+func TestRecordReplayTimingIdentical(t *testing.T) {
+	app := func(p *annotate.P) {
+		slot := mem.Addr(0x1000 + p.ID()*4)
+		p.Store(slot, mem.Word(p.ID()))
+		p.BarrierSync(0)
+		for k := 0; k < 3; k++ {
+			p.CSEnter(1)
+			v := p.Load(0x2000)
+			p.Store(0x2000, v+1)
+			p.CSExit(1)
+		}
+		p.BarrierSync(1)
+	}
+	const n = 16
+	guests := annotate.Guests(n, annotate.BMI, annotate.Pattern{OCC: true}, app)
+
+	bufs := make([]bytes.Buffer, n)
+	writers := make([]*Writer, n)
+	recorded := make([]engine.Guest, n)
+	for i := range guests {
+		w, err := NewWriter(&bufs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		writers[i] = w
+		recorded[i] = Record(guests[i], w)
+	}
+	res1, err := engine.New(newHier(), recorded).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range writers {
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if w.Len() == 0 {
+			t.Fatal("empty trace")
+		}
+	}
+
+	replayed := make([]engine.Guest, n)
+	for i := range replayed {
+		r, err := NewReader(bytes.NewReader(bufs[i].Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed[i] = Replay(r)
+	}
+	res2, err := engine.New(newHier(), replayed).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Cycles != res2.Cycles {
+		t.Errorf("cycles: recorded %d, replayed %d", res1.Cycles, res2.Cycles)
+	}
+	if res1.Traffic != res2.Traffic {
+		t.Errorf("traffic: recorded %v, replayed %v", res1.Traffic, res2.Traffic)
+	}
+	if res1.Ops != res2.Ops {
+		t.Errorf("op counts differ")
+	}
+}
+
+// A trace captured under one configuration can be replayed under another
+// (trace-driven cross-configuration estimation).
+func TestCrossConfigReplayRuns(t *testing.T) {
+	app := func(p *annotate.P) {
+		p.Store(mem.Addr(0x1000+p.ID()*64), 1)
+		p.BarrierSync(0)
+	}
+	const n = 16
+	guests := annotate.Guests(n, annotate.Base, annotate.Pattern{}, app)
+	bufs := make([]bytes.Buffer, n)
+	recorded := make([]engine.Guest, n)
+	writers := make([]*Writer, n)
+	for i := range guests {
+		w, _ := NewWriter(&bufs[i])
+		writers[i] = w
+		recorded[i] = Record(guests[i], w)
+	}
+	if _, err := engine.New(newHier(), recorded).Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range writers {
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replayed := make([]engine.Guest, n)
+	for i := range replayed {
+		r, err := NewReader(bytes.NewReader(bufs[i].Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed[i] = Replay(r)
+	}
+	// Replay on a machine with different buffer configuration.
+	m := topo.NewIntraBlock()
+	h := core.New(m, core.DefaultConfig(m))
+	if _, err := engine.New(h, replayed).Run(); err != nil {
+		t.Fatal(err)
+	}
+}

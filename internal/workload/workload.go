@@ -1,0 +1,121 @@
+// Package workload defines the common shape of the benchmark applications:
+// a guest body written against the annotated shared-memory interface of
+// Programming Model 1, plus the Table I pattern declaration and a
+// self-verification function that checks the program's results in backing
+// memory after the run drains. Verification is what makes the reproduction
+// trustworthy: a configuration that omits a required WB or INV produces a
+// detectably wrong answer, not just different timing.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/annotate"
+	"repro/internal/engine"
+	"repro/internal/mem"
+)
+
+// Workload is one runnable application instance (problem size and address
+// layout already fixed).
+type Workload struct {
+	// Name is the label used in figures ("fft", "lu-cont", ...).
+	Name string
+	// Threads is the number of guest threads (= cores used).
+	Threads int
+	// Pattern is the sharing knowledge handed to the annotator.
+	Pattern annotate.Pattern
+	// Main and Other are the Table I communication-pattern classification.
+	Main, Other []string
+	// Body is the per-thread program.
+	Body annotate.App
+	// Verify checks results against the sequential reference; memory must
+	// have been drained first.
+	Verify func(m *mem.Memory) error
+}
+
+// Guests lowers the workload to engine guests under configuration cfg.
+func (w *Workload) Guests(cfg annotate.Config) []engine.Guest {
+	return annotate.Guests(w.Threads, cfg, w.Pattern, w.Body)
+}
+
+// Run executes the workload on hierarchy h under cfg, drains, verifies,
+// and returns the engine result.
+func (w *Workload) Run(h engine.Hierarchy, cfg annotate.Config) (*engine.Result, error) {
+	res, err := engine.New(h, w.Guests(cfg)).Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", w.Name, cfg.Name, err)
+	}
+	h.Drain()
+	if err := w.Verify(h.Memory()); err != nil {
+		return nil, fmt.Errorf("%s/%s: verification: %w", w.Name, cfg.Name, err)
+	}
+	return res, nil
+}
+
+// Array is a word-array view over the simulated address space.
+type Array struct {
+	Base mem.Addr
+	Len  int
+}
+
+// NewArray allocates n line-aligned words from ar.
+func NewArray(ar *mem.Arena, n int) Array {
+	return Array{Base: ar.AllocWords(n).Base, Len: n}
+}
+
+// At returns the address of element i.
+func (a Array) At(i int) mem.Addr {
+	if i < 0 || i >= a.Len {
+		panic(fmt.Sprintf("workload: index %d out of [0,%d)", i, a.Len))
+	}
+	return a.Base + mem.Addr(i*mem.WordBytes)
+}
+
+// Slice returns the byte range covering elements [i, i+n).
+func (a Array) Slice(i, n int) mem.Range {
+	if n == 0 {
+		return mem.Range{}
+	}
+	_ = a.At(i)
+	_ = a.At(i + n - 1)
+	return mem.WordRange(a.At(i), n)
+}
+
+// Whole returns the range covering the whole array.
+func (a Array) Whole() mem.Range { return a.Slice(0, a.Len) }
+
+// Chunk returns the [lo, hi) element range of thread t when Len elements
+// are divided into nthreads consecutive chunks (OpenMP static chunk
+// scheduling — the distribution Model 2's compiler analysis assumes).
+func (a Array) Chunk(t, nthreads int) (lo, hi int) {
+	return ChunkOf(a.Len, t, nthreads)
+}
+
+// ChunkOf splits n items into nthreads consecutive chunks and returns
+// chunk t's bounds.
+func ChunkOf(n, t, nthreads int) (lo, hi int) {
+	per := (n + nthreads - 1) / nthreads
+	lo = t * per
+	hi = lo + per
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// OwnerOf returns the thread owning item i under chunk distribution.
+func OwnerOf(n, i, nthreads int) int {
+	per := (n + nthreads - 1) / nthreads
+	return i / per
+}
+
+// CheckWord compares one memory word against an expected value.
+func CheckWord(m *mem.Memory, a mem.Addr, want mem.Word, what string) error {
+	if got := m.ReadWord(a); got != want {
+		return fmt.Errorf("%s: got %d, want %d (addr %#x)", what, got, want, uint32(a))
+	}
+	return nil
+}
