@@ -17,6 +17,8 @@ package hic
 // fractions (frac_vs_addr).
 
 import (
+	"context"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -169,6 +171,36 @@ func BenchmarkFigure12(b *testing.B) {
 				b.ReportMetric(float64(r.Cycles)/float64(base), "norm_vs_hcc")
 			})
 		}
+	}
+}
+
+// BenchmarkRunIntraBlock measures the end-to-end Figure 9/10 sweep —
+// the repo's hottest path — serially and fanned out across GOMAXPROCS
+// workers. The two variants produce identical results (keyed assembly);
+// on an N-core runner the parallel variant should approach N× the
+// serial throughput.
+func BenchmarkRunIntraBlock(b *testing.B) {
+	variants := []struct {
+		name     string
+		parallel int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := RunIntraBlockOpts(context.Background(), benchScale, RunOptions{Parallel: v.parallel})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Figure9.Groups) != 11 {
+					b.Fatalf("incomplete sweep: %d groups", len(res.Figure9.Groups))
+				}
+			}
+			b.ReportMetric(float64(v.parallel), "workers")
+		})
 	}
 }
 

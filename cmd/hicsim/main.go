@@ -5,21 +5,45 @@
 //
 // Usage:
 //
-//	hicsim [-scale test|bench]
+//	hicsim [-scale test|bench] [-parallel N] [-timeout D] [-json] [-timing] [-check]
+//
+// Runs fan out across -parallel workers (default GOMAXPROCS); results are
+// identical to a serial sweep. -timeout bounds each individual run; a run
+// that exceeds it fails its own cell instead of hanging the sweep.
+//
+// With -json the figures and per-run metrics are emitted as a single
+// machine-readable document on stdout (schema hic-results/v1) instead of
+// the text report; Table I and the storage report are text-only. The
+// JSON is canonical — byte-identical for serial and parallel runs —
+// unless -timing adds host wall times. With -check the paper's expected
+// config-vs-config orderings (DESIGN.md §4) are evaluated against the
+// results and the command exits nonzero on any violation; this is the
+// gate CI runs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"time"
 
 	hic "repro"
+	"repro/internal/runner"
+	"repro/internal/shapecheck"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hicsim: ")
 	scale := flag.String("scale", "bench", "problem scale: test or bench")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the experiment sweeps")
+	timeout := flag.Duration("timeout", 0, "per-run timeout (0 = none)")
+	jsonOut := flag.Bool("json", false, "emit results as a machine-readable JSON document on stdout")
+	timing := flag.Bool("timing", false, "include host wall times in -json output (not deterministic)")
+	check := flag.Bool("check", false, "verify the paper's expected orderings; exit nonzero on violation")
 	flag.Parse()
 
 	s := hic.ScaleBench
@@ -27,6 +51,39 @@ func main() {
 		s = hic.ScaleTest
 	} else if *scale != "bench" {
 		log.Fatalf("unknown scale %q", *scale)
+	}
+	opts := hic.RunOptions{Parallel: *parallel, Timeout: *timeout}
+	ctx := context.Background()
+
+	if *jsonOut || *check {
+		intra, intraErr := hic.RunIntraBlockOpts(ctx, s, opts)
+		inter, interErr := hic.RunInterBlockOpts(ctx, s, opts)
+		doc := runner.Merge(intra.Document(s), inter.Document(s))
+		if *jsonOut {
+			encode := doc.Encode
+			if *timing {
+				encode = doc.EncodeTiming
+			}
+			if err := encode(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for _, err := range []error{intraErr, interErr} {
+			if err != nil {
+				log.Print(err)
+			}
+		}
+		if *check {
+			vs := shapecheck.Check(doc)
+			fmt.Fprint(os.Stderr, shapecheck.Render(vs))
+			if len(vs) > 0 {
+				os.Exit(1)
+			}
+		}
+		if intraErr != nil || interErr != nil {
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Println("== E1: Table I =================================================")
@@ -40,10 +97,12 @@ func main() {
 	fmt.Println(hic.StorageReport().Render())
 
 	fmt.Println("== E3 + E4: intra-block (Figures 9, 10) ========================")
-	intra, err := hic.RunIntraBlock(s)
+	start := time.Now()
+	intra, err := hic.RunIntraBlockOpts(ctx, s, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	intraWall := time.Since(start)
 	fmt.Println(intra.Figure9.Render())
 	m9 := intra.Figure9.MeanTotals()
 	fmt.Printf("mean normalized execution time: Base %.3f (paper ~1.20), B+M+I %.3f (paper ~1.02)\n\n",
@@ -53,13 +112,17 @@ func main() {
 	fmt.Printf("mean normalized traffic: B+M+I %.3f (paper ~0.96)\n\n", m10["B+M+I"])
 
 	fmt.Println("== E5 + E6: inter-block (Figures 11, 12) =======================")
-	inter, err := hic.RunInterBlock(s)
+	start = time.Now()
+	inter, err := hic.RunInterBlockOpts(ctx, s, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	interWall := time.Since(start)
 	fmt.Println(inter.Figure11.Render())
 	fmt.Println(inter.Figure12.Render())
 	m12 := inter.Figure12.MeanTotals()
 	fmt.Printf("mean normalized execution time: Base %.3f, Addr %.3f, Addr+L %.3f (paper: Addr+L ~1.05, -31%% vs Base, -5%% vs Addr)\n",
 		m12["Base"], m12["Addr"], m12["Addr+L"])
+	fmt.Printf("\nsweep wall time (%d workers): intra %s, inter %s\n",
+		opts.Workers(1<<30), intraWall.Round(time.Millisecond), interWall.Round(time.Millisecond))
 }

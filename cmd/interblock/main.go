@@ -4,13 +4,21 @@
 //
 // Usage:
 //
-//	interblock [-scale test|bench] [-counts]
+//	interblock [-scale test|bench] [-counts] [-parallel N] [-timeout D] [-json] [-timing]
+//
+// Runs fan out across -parallel workers (default GOMAXPROCS) with results
+// identical to a serial sweep; -timeout bounds each individual run. With
+// -json the result is a machine-readable document on stdout (canonical
+// unless -timing adds host wall times).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 
 	hic "repro"
 )
@@ -20,6 +28,10 @@ func main() {
 	log.SetPrefix("interblock: ")
 	scale := flag.String("scale", "bench", "problem scale: test or bench")
 	countsOnly := flag.Bool("counts", false, "print only Figure 11 (global WB/INV counts)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the sweep")
+	timeout := flag.Duration("timeout", 0, "per-run timeout (0 = none)")
+	jsonOut := flag.Bool("json", false, "emit results as a machine-readable JSON document on stdout")
+	timing := flag.Bool("timing", false, "include host wall times in -json output (not deterministic)")
 	flag.Parse()
 
 	s := hic.ScaleBench
@@ -29,9 +41,23 @@ func main() {
 		log.Fatalf("unknown scale %q", *scale)
 	}
 
-	res, err := hic.RunInterBlock(s)
+	opts := hic.RunOptions{Parallel: *parallel, Timeout: *timeout}
+	res, err := hic.RunInterBlockOpts(context.Background(), s, opts)
+	if *jsonOut {
+		doc := res.Document(s)
+		encode := doc.Encode
+		if *timing {
+			encode = doc.EncodeTiming
+		}
+		if encErr := encode(os.Stdout); encErr != nil {
+			log.Fatal(encErr)
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *jsonOut {
+		return
 	}
 	fmt.Println(res.Figure11.Render())
 	if *countsOnly {

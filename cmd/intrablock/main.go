@@ -5,14 +5,21 @@
 //
 // Usage:
 //
-//	intrablock [-scale test|bench] [-traffic]
+//	intrablock [-scale test|bench] [-traffic] [-parallel N] [-timeout D] [-json] [-timing]
+//
+// Runs fan out across -parallel workers (default GOMAXPROCS) with results
+// identical to a serial sweep; -timeout bounds each individual run. With
+// -json the result is a machine-readable document on stdout (canonical
+// unless -timing adds host wall times).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	hic "repro"
 )
@@ -22,6 +29,10 @@ func main() {
 	log.SetPrefix("intrablock: ")
 	scale := flag.String("scale", "bench", "problem scale: test or bench")
 	trafficOnly := flag.Bool("traffic", false, "print only Figure 10 (traffic)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the sweep")
+	timeout := flag.Duration("timeout", 0, "per-run timeout (0 = none)")
+	jsonOut := flag.Bool("json", false, "emit results as a machine-readable JSON document on stdout")
+	timing := flag.Bool("timing", false, "include host wall times in -json output (not deterministic)")
 	flag.Parse()
 
 	s := hic.ScaleBench
@@ -31,9 +42,23 @@ func main() {
 		log.Fatalf("unknown scale %q", *scale)
 	}
 
-	res, err := hic.RunIntraBlock(s)
+	opts := hic.RunOptions{Parallel: *parallel, Timeout: *timeout}
+	res, err := hic.RunIntraBlockOpts(context.Background(), s, opts)
+	if *jsonOut {
+		doc := res.Document(s)
+		encode := doc.Encode
+		if *timing {
+			encode = doc.EncodeTiming
+		}
+		if encErr := encode(os.Stdout); encErr != nil {
+			log.Fatal(encErr)
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *jsonOut {
+		return
 	}
 	if !*trafficOnly {
 		fmt.Println(res.Figure9.Render())
@@ -42,7 +67,6 @@ func main() {
 	}
 	fmt.Println(res.Figure10.Render())
 	printMeans("Figure 10 mean normalized traffic", res.Figure10)
-	os.Exit(0)
 }
 
 func printMeans(title string, f *hic.Figure) {

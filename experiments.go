@@ -1,7 +1,9 @@
 package hic
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -10,6 +12,7 @@ import (
 	"repro/internal/apps/splash"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -22,6 +25,14 @@ const (
 	// ScaleBench is the scale the benchmark harness reports.
 	ScaleBench
 )
+
+// Name returns the scale's flag spelling ("test", "bench").
+func (s Scale) Name() string {
+	if s == ScaleBench {
+		return "bench"
+	}
+	return "test"
+}
 
 func splashSize(s Scale) splash.Size {
 	if s == ScaleBench {
@@ -57,6 +68,18 @@ func InterWorkloads(s Scale) []*IRWorkload {
 	}
 }
 
+// RunOptions controls a sweep: worker count and per-run timeout (see
+// runner.Options). The zero value runs with GOMAXPROCS workers and no
+// timeout.
+type RunOptions = runner.Options
+
+// DefaultRunOptions fans runs out across GOMAXPROCS workers with no
+// per-run timeout. Results are identical to a serial sweep: every run is
+// independent and assembly is keyed, not order-dependent.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{Parallel: runtime.GOMAXPROCS(0)}
+}
+
 // IntraResult is the outcome of the intra-block experiments (E3 + E4).
 type IntraResult struct {
 	// Figure9 is the normalized execution time with the paper's stall
@@ -67,34 +90,79 @@ type IntraResult struct {
 	// the paper's class breakdown (linefill, writeback, invalidation,
 	// memory), normalized to HCC.
 	Figure10 *Figure
-	// Raw holds every run's engine result, keyed by app then config.
+	// Raw holds every successful run's engine result, keyed by app then
+	// config.
 	Raw map[string]map[string]*Result
+	// Runs holds one record per run in sweep order (errors included).
+	Runs []runner.RunRecord
+}
+
+// intraTasks builds one task per (application, configuration) pair. Each
+// task constructs its own workload instance and hierarchy so tasks are
+// fully independent and safe to run concurrently.
+func intraTasks(s Scale) []runner.Task {
+	var tasks []runner.Task
+	for i, w := range IntraWorkloads(s) {
+		for _, cfg := range IntraConfigs {
+			i, cfg := i, cfg
+			tasks = append(tasks, runner.Task{
+				Workload: w.Name,
+				Config:   cfg.Name,
+				Run: func(context.Context) (*runner.Outcome, error) {
+					wl := IntraWorkloads(s)[i]
+					r, err := wl.Run(NewHierarchy(NewIntraMachine(), cfg), cfg)
+					if err != nil {
+						return nil, err
+					}
+					return &runner.Outcome{Result: r}, nil
+				},
+			})
+		}
+	}
+	return tasks
 }
 
 // RunIntraBlock executes every intra-block application under every Table
-// II configuration and builds Figures 9 and 10.
+// II configuration and builds Figures 9 and 10, fanning the runs out
+// under DefaultRunOptions.
 func RunIntraBlock(s Scale) (*IntraResult, error) {
+	return RunIntraBlockOpts(context.Background(), s, DefaultRunOptions())
+}
+
+// RunIntraBlockOpts is RunIntraBlock under explicit orchestration
+// options. On failure it returns the joined per-cell errors together with
+// the partial result: applications whose HCC baseline succeeded still get
+// their figure groups, and Runs records every cell including the failed
+// ones.
+func RunIntraBlockOpts(ctx context.Context, s Scale, opts RunOptions) (*IntraResult, error) {
+	grid := runner.Run(ctx, intraTasks(s), opts)
 	res := &IntraResult{
 		Figure9:  &Figure{Title: "Figure 9: normalized execution time (intra-block)", Categories: []string{"inv", "wb", "lock", "barrier", "rest"}},
 		Figure10: &Figure{Title: "Figure 10: normalized traffic, HCC vs B+M+I (flits)", Categories: []string{"linefill", "writeback", "invalidation", "memory"}},
 		Raw:      make(map[string]map[string]*Result),
+		Runs:     grid.Records(),
 	}
 	for _, w := range IntraWorkloads(s) {
 		res.Raw[w.Name] = make(map[string]*Result)
-		var hccCycles float64
-		var hccTraffic stats.Traffic
+		for _, cfg := range IntraConfigs {
+			if r := grid.Result(w.Name, cfg.Name); r != nil {
+				res.Raw[w.Name][cfg.Name] = r
+			}
+		}
+		// Normalization reads the HCC baseline by key, so the figures do
+		// not depend on IntraConfigs order (or on which run finished
+		// first under parallel execution).
+		hcc := grid.Result(w.Name, HCC.Name)
+		if hcc == nil {
+			continue // baseline failed; reported via Runs and Err
+		}
+		hccCycles := float64(hcc.Cycles)
 		g9 := stats.Group{Name: w.Name}
 		g10 := stats.Group{Name: w.Name}
 		for _, cfg := range IntraConfigs {
-			h := NewHierarchy(NewIntraMachine(), cfg)
-			r, err := w.Run(h, cfg)
-			if err != nil {
-				return nil, err
-			}
-			res.Raw[w.Name][cfg.Name] = r
-			if cfg.Name == HCC.Name {
-				hccCycles = float64(r.Cycles)
-				hccTraffic = r.Traffic
+			r := grid.Result(w.Name, cfg.Name)
+			if r == nil {
+				continue
 			}
 			// The paper's per-category stall heights are aggregated over
 			// threads, scaled so the bar's total equals the parallel
@@ -111,7 +179,7 @@ func RunIntraBlock(s Scale) (*IntraResult, error) {
 			})
 			if cfg.Name == HCC.Name || cfg.Name == BMI.Name {
 				lf, wbt, invt, memt := r.Traffic.Figure10()
-				lf0, wb0, inv0, mem0 := hccTraffic.Figure10()
+				lf0, wb0, inv0, mem0 := hcc.Traffic.Figure10()
 				norm := float64(lf0 + wb0 + inv0 + mem0)
 				g10.Bars = append(g10.Bars, stats.Bar{
 					Label: cfg.Name,
@@ -125,7 +193,22 @@ func RunIntraBlock(s Scale) (*IntraResult, error) {
 		res.Figure9.Groups = append(res.Figure9.Groups, g9)
 		res.Figure10.Groups = append(res.Figure10.Groups, g10)
 	}
-	return res, nil
+	return res, grid.Err()
+}
+
+// Document serializes the result for the shape checker and external
+// tooling.
+func (r *IntraResult) Document(s Scale) *runner.Document {
+	return &runner.Document{
+		Schema: runner.SchemaVersion,
+		Scale:  s.Name(),
+		Suite:  "intra",
+		Figures: []runner.Figure{
+			runner.FigureJSON("figure9", r.Figure9),
+			runner.FigureJSON("figure10", r.Figure10),
+		},
+		Runs: r.Runs,
+	}
 }
 
 // InterResult is the outcome of the inter-block experiments (E5 + E6).
@@ -136,56 +219,121 @@ type InterResult struct {
 	// Figure12 is the normalized execution time (bars HCC/Base/Addr/
 	// Addr+L, normalized to HCC).
 	Figure12 *Figure
-	// Raw holds every run's engine result, keyed by app then mode.
+	// Raw holds every successful run's engine result, keyed by app then
+	// mode.
 	Raw map[string]map[string]*Result
+	// Runs holds one record per run in sweep order (errors included).
+	Runs []runner.RunRecord
+}
+
+// interTasks builds one task per (application, mode) pair; global WB/INV
+// line-operation counts are captured into the outcome for the modes
+// Figure 11 compares.
+func interTasks(s Scale) []runner.Task {
+	var tasks []runner.Task
+	for i, w := range InterWorkloads(s) {
+		for _, mode := range InterModes {
+			i, mode := i, mode
+			tasks = append(tasks, runner.Task{
+				Workload: w.Name,
+				Config:   mode.String(),
+				Run: func(context.Context) (*runner.Outcome, error) {
+					wl := InterWorkloads(s)[i]
+					h := NewModeHierarchy(NewInterMachine(), mode)
+					r, err := wl.Run(h, mode)
+					if err != nil {
+						return nil, err
+					}
+					out := &runner.Outcome{Result: r}
+					if hi, ok := h.(*core.Hierarchy); ok {
+						out.GlobalWB, out.GlobalINV = hi.GlobalOps()
+					}
+					return out, nil
+				},
+			})
+		}
+	}
+	return tasks
 }
 
 // RunInterBlock executes every inter-block application under every Table
-// II mode and builds Figures 11 and 12.
+// II mode and builds Figures 11 and 12, fanning the runs out under
+// DefaultRunOptions.
 func RunInterBlock(s Scale) (*InterResult, error) {
+	return RunInterBlockOpts(context.Background(), s, DefaultRunOptions())
+}
+
+// RunInterBlockOpts is RunInterBlock under explicit orchestration
+// options; error semantics match RunIntraBlockOpts.
+func RunInterBlockOpts(ctx context.Context, s Scale, opts RunOptions) (*InterResult, error) {
+	grid := runner.Run(ctx, interTasks(s), opts)
 	res := &InterResult{
 		Figure11: &Figure{Title: "Figure 11: normalized global WB and INV counts", Categories: []string{"global-wb", "global-inv"}},
 		Figure12: &Figure{Title: "Figure 12: normalized execution time (inter-block)", Categories: []string{"cycles"}},
 		Raw:      make(map[string]map[string]*Result),
+		Runs:     grid.Records(),
 	}
 	for _, w := range InterWorkloads(s) {
 		res.Raw[w.Name] = make(map[string]*Result)
-		var hccCycles float64
-		var addrWB, addrINV float64
-		g11 := stats.Group{Name: w.Name}
+		for _, mode := range InterModes {
+			if r := grid.Result(w.Name, mode.String()); r != nil {
+				res.Raw[w.Name][mode.String()] = r
+			}
+		}
+		// Figure 12 normalizes to the HCC baseline by key; Figure 11
+		// normalizes Addr+L's global operations to Addr's by key. Neither
+		// depends on InterModes order.
+		hcc := grid.Result(w.Name, ModeHCC.String())
+		if hcc == nil {
+			continue
+		}
+		hccCycles := float64(hcc.Cycles)
 		g12 := stats.Group{Name: w.Name}
 		for _, mode := range InterModes {
-			h := NewModeHierarchy(NewInterMachine(), mode)
-			r, err := w.Run(h, mode)
-			if err != nil {
-				return nil, err
-			}
-			res.Raw[w.Name][mode.String()] = r
-			if mode == ModeHCC {
-				hccCycles = float64(r.Cycles)
-			}
-			g12.Bars = append(g12.Bars, stats.Bar{
-				Label:    mode.String(),
-				Segments: []float64{float64(r.Cycles) / hccCycles},
-			})
-			if mode == ModeAddr || mode == ModeAddrL {
-				wb, inv := h.(*core.Hierarchy).GlobalOps()
-				if mode == ModeAddr {
-					addrWB, addrINV = float64(wb), float64(inv)
-				}
-				g11.Bars = append(g11.Bars, stats.Bar{
-					Label: mode.String(),
-					Segments: []float64{
-						ratio(float64(wb), addrWB),
-						ratio(float64(inv), addrINV),
-					},
+			if r := grid.Result(w.Name, mode.String()); r != nil {
+				g12.Bars = append(g12.Bars, stats.Bar{
+					Label:    mode.String(),
+					Segments: []float64{float64(r.Cycles) / hccCycles},
 				})
 			}
 		}
-		res.Figure11.Groups = append(res.Figure11.Groups, g11)
 		res.Figure12.Groups = append(res.Figure12.Groups, g12)
+		addr := grid.Get(w.Name, ModeAddr.String())
+		if addr == nil || addr.Outcome == nil {
+			continue
+		}
+		g11 := stats.Group{Name: w.Name}
+		for _, mode := range []Mode{ModeAddr, ModeAddrL} {
+			c := grid.Get(w.Name, mode.String())
+			if c == nil || c.Outcome == nil {
+				continue
+			}
+			g11.Bars = append(g11.Bars, stats.Bar{
+				Label: mode.String(),
+				Segments: []float64{
+					ratio(float64(c.Outcome.GlobalWB), float64(addr.Outcome.GlobalWB)),
+					ratio(float64(c.Outcome.GlobalINV), float64(addr.Outcome.GlobalINV)),
+				},
+			})
+		}
+		res.Figure11.Groups = append(res.Figure11.Groups, g11)
 	}
-	return res, nil
+	return res, grid.Err()
+}
+
+// Document serializes the result for the shape checker and external
+// tooling.
+func (r *InterResult) Document(s Scale) *runner.Document {
+	return &runner.Document{
+		Schema: runner.SchemaVersion,
+		Scale:  s.Name(),
+		Suite:  "inter",
+		Figures: []runner.Figure{
+			runner.FigureJSON("figure11", r.Figure11),
+			runner.FigureJSON("figure12", r.Figure12),
+		},
+		Runs: r.Runs,
+	}
 }
 
 func ratio(a, b float64) float64 {
@@ -201,18 +349,34 @@ func ratio(a, b float64) float64 {
 // PatternTable regenerates Table I: the communication-pattern
 // classification of the intra-block applications, from the workloads' own
 // declarations cross-checked against the synchronization operations they
-// actually execute.
+// actually execute. The per-application Base runs execute under
+// DefaultRunOptions.
 func PatternTable(s Scale) (string, error) {
+	ws := IntraWorkloads(s)
+	var tasks []runner.Task
+	for i, w := range ws {
+		i := i
+		tasks = append(tasks, runner.Task{
+			Workload: w.Name,
+			Config:   Base.Name,
+			Run: func(context.Context) (*runner.Outcome, error) {
+				r, err := IntraWorkloads(s)[i].Run(NewHierarchy(NewIntraMachine(), Base), Base)
+				if err != nil {
+					return nil, err
+				}
+				return &runner.Outcome{Result: r}, nil
+			},
+		})
+	}
+	grid := runner.Run(context.Background(), tasks, DefaultRunOptions())
+	if err := grid.Err(); err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table I: communication patterns (intra-block applications)\n")
 	fmt.Fprintf(&b, "%-14s %-28s %-28s %s\n", "app", "main", "other", "measured sync ops")
-	for _, w := range IntraWorkloads(s) {
-		h := NewHierarchy(NewIntraMachine(), Base)
-		r, err := w.Run(h, Base)
-		if err != nil {
-			return "", err
-		}
-		census := SyncCensus(r)
+	for _, w := range ws {
+		census := SyncCensus(grid.Result(w.Name, Base.Name))
 		fmt.Fprintf(&b, "%-14s %-28s %-28s %s\n",
 			w.Name, strings.Join(w.Main, ", "), strings.Join(w.Other, ", "), census)
 	}
@@ -239,22 +403,9 @@ func SyncCensus(r *Result) string {
 }
 
 // VerifyAll runs every workload at test scale under every configuration
-// and mode, returning the first failure (a full self-check of the
-// reproduction).
+// and mode, under DefaultRunOptions, returning the labeled failures (a
+// full self-check of the reproduction).
 func VerifyAll() error {
-	for _, w := range IntraWorkloads(ScaleTest) {
-		for _, cfg := range IntraConfigs {
-			if _, err := w.Run(NewHierarchy(NewIntraMachine(), cfg), cfg); err != nil {
-				return err
-			}
-		}
-	}
-	for _, w := range InterWorkloads(ScaleTest) {
-		for _, mode := range InterModes {
-			if _, err := w.Run(NewModeHierarchy(NewInterMachine(), mode), mode); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	tasks := append(intraTasks(ScaleTest), interTasks(ScaleTest)...)
+	return runner.Run(context.Background(), tasks, DefaultRunOptions()).Err()
 }

@@ -1,0 +1,190 @@
+// JSON result schema. A sweep serializes to a Document: the figures it
+// regenerated (normalized stacked bars), plus one RunRecord per cell with
+// the raw cycle count, stall breakdown, traffic classes, global-operation
+// counts, and host wall time. The document is machine-readable so CI can
+// assert the paper's config-vs-config shapes (internal/shapecheck) instead
+// of trusting eyeballed tables.
+//
+// Canonical form: Encode strips host wall times (the only
+// nondeterministic field), so serial and parallel sweeps of the same
+// experiment produce byte-identical output. EncodeTiming keeps them.
+
+package runner
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// SchemaVersion identifies the document layout; bump on incompatible
+// changes so shape-checkers can reject documents they do not understand.
+const SchemaVersion = "hic-results/v1"
+
+// Document is the machine-readable outcome of one or more sweeps.
+type Document struct {
+	// Schema is SchemaVersion.
+	Schema string `json:"schema"`
+	// Scale names the problem scale the sweep ran at ("test", "bench").
+	Scale string `json:"scale"`
+	// Suite names what ran: "intra", "inter", or "all".
+	Suite string `json:"suite"`
+	// Figures are the regenerated paper figures.
+	Figures []Figure `json:"figures"`
+	// Runs holds one record per sweep cell, in task order.
+	Runs []RunRecord `json:"runs"`
+}
+
+// Figure is the JSON form of a stats.Figure, with a stable identifier.
+type Figure struct {
+	// ID names the paper artifact ("figure9" ... "figure12").
+	ID         string   `json:"id"`
+	Title      string   `json:"title"`
+	Categories []string `json:"categories"`
+	Groups     []Group  `json:"groups"`
+}
+
+// Group is one application's bars.
+type Group struct {
+	Name string `json:"name"`
+	Bars []Bar  `json:"bars"`
+}
+
+// Bar is one normalized stacked bar.
+type Bar struct {
+	Label    string    `json:"label"`
+	Segments []float64 `json:"segments"`
+	Total    float64   `json:"total"`
+}
+
+// RunRecord is one cell's raw metrics.
+type RunRecord struct {
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	// Cycles is the simulated parallel execution time.
+	Cycles int64 `json:"cycles,omitempty"`
+	// Stalls is the cycle breakdown by stall category, summed over
+	// threads.
+	Stalls map[string]int64 `json:"stalls,omitempty"`
+	// Traffic is the flit count by traffic class.
+	Traffic map[string]int64 `json:"traffic,omitempty"`
+	// GlobalWB and GlobalINV are the global line-operation counts
+	// (inter-block runs only).
+	GlobalWB  int64 `json:"global_wb,omitempty"`
+	GlobalINV int64 `json:"global_inv,omitempty"`
+	// WallMS is the host wall-clock time of the run in milliseconds. It
+	// is the only nondeterministic field and is stripped by Encode.
+	WallMS float64 `json:"wall_ms,omitempty"`
+	// Error is the cell's failure, if any.
+	Error string `json:"error,omitempty"`
+}
+
+// FigureJSON converts a stats.Figure under the given identifier.
+func FigureJSON(id string, f *stats.Figure) Figure {
+	out := Figure{ID: id, Title: f.Title, Categories: f.Categories}
+	for _, g := range f.Groups {
+		jg := Group{Name: g.Name}
+		for _, b := range g.Bars {
+			jg.Bars = append(jg.Bars, Bar{Label: b.Label, Segments: b.Segments, Total: b.Height()})
+		}
+		out.Groups = append(out.Groups, jg)
+	}
+	return out
+}
+
+// FigureByID returns the document's figure with the given ID, or nil.
+func (d *Document) FigureByID(id string) *Figure {
+	for i := range d.Figures {
+		if d.Figures[i].ID == id {
+			return &d.Figures[i]
+		}
+	}
+	return nil
+}
+
+// Records converts the grid's cells to run records in task order.
+func (g *Grid) Records() []RunRecord {
+	recs := make([]RunRecord, 0, len(g.cells))
+	for i := range g.cells {
+		c := &g.cells[i]
+		rec := RunRecord{
+			Workload: c.Workload,
+			Config:   c.Config,
+			WallMS:   float64(c.Wall.Microseconds()) / 1000,
+		}
+		if c.Err != nil {
+			rec.Error = c.Err.Error()
+		}
+		if c.Outcome != nil {
+			rec.GlobalWB, rec.GlobalINV = c.Outcome.GlobalWB, c.Outcome.GlobalINV
+			if r := c.Outcome.Result; r != nil {
+				rec.Cycles = r.Cycles
+				rec.Stalls = make(map[string]int64, int(stats.NumStallKinds))
+				for k := stats.StallKind(0); k < stats.NumStallKinds; k++ {
+					if v := r.Stalls[k]; v != 0 {
+						rec.Stalls[k.String()] = v
+					}
+				}
+				rec.Traffic = make(map[string]int64, int(stats.NumTrafficClasses))
+				for cl := stats.TrafficClass(0); cl < stats.NumTrafficClasses; cl++ {
+					if v := r.Traffic[cl]; v != 0 {
+						rec.Traffic[cl.String()] = v
+					}
+				}
+			}
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// Merge combines documents into one (suite "all"): figures and runs are
+// concatenated in argument order; scale is taken from the first document.
+func Merge(docs ...*Document) *Document {
+	out := &Document{Schema: SchemaVersion, Suite: "all"}
+	for i, d := range docs {
+		if i == 0 {
+			out.Scale = d.Scale
+		}
+		out.Figures = append(out.Figures, d.Figures...)
+		out.Runs = append(out.Runs, d.Runs...)
+	}
+	return out
+}
+
+// Encode writes the document as indented canonical JSON: host wall times
+// are stripped, so serial and parallel sweeps of the same experiment emit
+// byte-identical output. The original document is not modified.
+func (d *Document) Encode(w io.Writer) error {
+	canon := *d
+	canon.Runs = make([]RunRecord, len(d.Runs))
+	copy(canon.Runs, d.Runs)
+	for i := range canon.Runs {
+		canon.Runs[i].WallMS = 0
+	}
+	return encode(w, &canon)
+}
+
+// EncodeTiming writes the document with host wall times included; the
+// output is not deterministic across runs.
+func (d *Document) EncodeTiming(w io.Writer) error { return encode(w, d) }
+
+func encode(w io.Writer, d *Document) error {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Decode reads a document produced by Encode or EncodeTiming.
+func Decode(r io.Reader) (*Document, error) {
+	var d Document
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
