@@ -1,0 +1,157 @@
+// Command benchjson converts `go test -bench` output into a small JSON
+// document (schema hic-bench/v1) so benchmark numbers can be recorded in
+// the repo (BENCH_hotpath.json) and uploaded as CI artifacts without
+// hand-transcription.
+//
+// Usage:
+//
+//	benchjson [label=file ...]      # one labeled set per file
+//	benchjson < bench.txt           # single set labeled "bench"
+//
+// Each set holds the parsed benchmark lines of one `go test -bench` run:
+// name, iterations, ns/op, and — when -benchmem was on — B/op and
+// allocs/op, plus any custom ReportMetric units. Context lines (goos,
+// goarch, pkg, cpu) are folded into the set, keyed by the last `pkg:`
+// seen so multi-package output concatenated from `go test ./...` parses
+// cleanly.
+//
+// Compare two sets statistically with benchstat (see DESIGN.md
+// "Performance"): benchjson records the snapshot; benchstat judges the
+// delta.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Pkg        string             `json:"pkg,omitempty"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BPerOp     *float64           `json:"bytes_per_op,omitempty"`
+	AllocsOp   *float64           `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the output document.
+type Doc struct {
+	Schema string             `json:"schema"`
+	Goos   string             `json:"goos,omitempty"`
+	Goarch string             `json:"goarch,omitempty"`
+	CPU    string             `json:"cpu,omitempty"`
+	Sets   map[string][]Bench `json:"sets"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	doc := Doc{Schema: "hic-bench/v1", Sets: map[string][]Bench{}}
+
+	if len(os.Args) < 2 {
+		parseInto(&doc, "bench", os.Stdin)
+	} else {
+		for _, arg := range os.Args[1:] {
+			label, path, ok := strings.Cut(arg, "=")
+			if !ok {
+				log.Fatalf("argument %q is not label=file", arg)
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			parseInto(&doc, label, f)
+			f.Close()
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseInto(doc *Doc, label string, r io.Reader) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				log.Fatalf("%s: %v", line, err)
+			}
+			b.Pkg = pkg
+			doc.Sets[label] = append(doc.Sets[label], b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	sort.SliceStable(doc.Sets[label], func(i, j int) bool {
+		a, b := doc.Sets[label][i], doc.Sets[label][j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		return a.Name < b.Name
+	})
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkX/sub-8  100  12.3 ns/op  4 B/op  1 allocs/op  5.0 widgets
+//
+// Values come in "<number> <unit>" pairs after the iteration count.
+func parseLine(line string) (Bench, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Bench{}, fmt.Errorf("too few fields")
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, fmt.Errorf("iterations: %v", err)
+	}
+	b := Bench{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, fmt.Errorf("value %q: %v", fields[i], err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			v := v
+			b.BPerOp = &v
+		case "allocs/op":
+			v := v
+			b.AllocsOp = &v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, nil
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	hicsim [-scale test|bench] [-parallel N] [-timeout D] [-json] [-timing] [-check]
+//	       [-cpuprofile F] [-memprofile F]
 //
 // Runs fan out across -parallel workers (default GOMAXPROCS); results are
 // identical to a serial sweep. -timeout bounds each individual run; a run
@@ -19,6 +20,9 @@
 // config-vs-config orderings (DESIGN.md §4) are evaluated against the
 // results and the command exits nonzero on any violation; this is the
 // gate CI runs.
+//
+// -cpuprofile and -memprofile write pprof profiles of the sweep (see
+// DESIGN.md "Performance" for the profiling workflow).
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	hic "repro"
@@ -44,7 +49,34 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as a machine-readable JSON document on stdout")
 	timing := flag.Bool("timing", false, "include host wall times in -json output (not deterministic)")
 	check := flag.Bool("check", false, "verify the paper's expected orderings; exit nonzero on violation")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	s := hic.ScaleBench
 	if *scale == "test" {

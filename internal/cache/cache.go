@@ -141,11 +141,17 @@ func (c *Cache) Frame(f FrameID) *Line { return &c.frames[f] }
 
 // Lookup returns the valid line holding addr's line, or nil. A successful
 // lookup refreshes LRU state and counts a hit; a failed one counts a miss.
+// The set is scanned exactly once.
 func (c *Cache) Lookup(addr mem.Addr) *Line {
-	if f := c.FrameOf(addr); f >= 0 {
-		c.Hits++
-		c.touch(f)
-		return &c.frames[f]
+	line := mem.LineAddr(addr)
+	base := c.setOf(line) * c.cfg.Ways
+	for f := base; f < base+c.cfg.Ways; f++ {
+		l := &c.frames[f]
+		if l.Valid && l.Tag == line {
+			c.Hits++
+			c.touch(FrameID(f))
+			return l
+		}
 	}
 	c.Misses++
 	return nil
@@ -155,8 +161,13 @@ func (c *Cache) Lookup(addr mem.Addr) *Line {
 // counters. Hierarchy-internal probes (directory checks, WB traversals) use
 // Peek so they do not perturb replacement or hit statistics.
 func (c *Cache) Peek(addr mem.Addr) *Line {
-	if f := c.FrameOf(addr); f >= 0 {
-		return &c.frames[f]
+	line := mem.LineAddr(addr)
+	base := c.setOf(line) * c.cfg.Ways
+	for f := base; f < base+c.cfg.Ways; f++ {
+		l := &c.frames[f]
+		if l.Valid && l.Tag == line {
+			return l
+		}
 	}
 	return nil
 }
@@ -184,28 +195,51 @@ func (c *Cache) Victim(addr mem.Addr) FrameID {
 	return best
 }
 
-// Insert installs a line with the given data and state, returning the frame
-// it landed in and, if a valid line was displaced, a copy of that victim.
-// The caller is responsible for writing back the victim's dirty words; the
-// WritebacksOnEvict counter tracks how often that was needed.
-func (c *Cache) Insert(line mem.Addr, words *[mem.WordsPerLine]mem.Word, st State) (FrameID, *Line) {
+// Insert installs a line with the given data and state in a single set
+// scan (duplicate check, invalid-way search, and LRU victim selection all
+// derive from the same pass). It returns the frame the line landed in and
+// whether a valid line was displaced; if so, the displaced line is copied
+// into the caller-provided victim buffer (which may be nil when the caller
+// only cares that an eviction happened). The caller is responsible for
+// writing back the victim's dirty words; the WritebacksOnEvict counter
+// tracks how often that was needed. Insert panics if the line is already
+// present.
+func (c *Cache) Insert(line mem.Addr, words *[mem.WordsPerLine]mem.Word, st State, victim *Line) (FrameID, bool) {
 	line = mem.LineAddr(line)
-	if f := c.FrameOf(line); f >= 0 {
-		panic(fmt.Sprintf("cache: Insert of already-present line %#x", uint32(line)))
-	}
-	f := c.Victim(line)
-	var victim *Line
-	if c.frames[f].Valid {
-		v := c.frames[f] // copy
-		victim = &v
-		c.Evictions++
-		if v.IsDirty() {
-			c.WritebacksOnEvict++
+	base := c.setOf(line) * c.cfg.Ways
+	invalid := -1
+	best := base
+	for f := base; f < base+c.cfg.Ways; f++ {
+		l := &c.frames[f]
+		if !l.Valid {
+			if invalid < 0 {
+				invalid = f
+			}
+			continue
+		}
+		if l.Tag == line {
+			panic(fmt.Sprintf("cache: Insert of already-present line %#x", uint32(line)))
+		}
+		if l.lru < c.frames[best].lru {
+			best = f
 		}
 	}
+	f := invalid
+	evicted := false
+	if f < 0 {
+		f = best
+		if victim != nil {
+			*victim = c.frames[f]
+		}
+		c.Evictions++
+		if c.frames[f].IsDirty() {
+			c.WritebacksOnEvict++
+		}
+		evicted = true
+	}
 	c.frames[f] = Line{Tag: line, Valid: true, State: st, Words: *words}
-	c.touch(f)
-	return f, victim
+	c.touch(FrameID(f))
+	return FrameID(f), evicted
 }
 
 // InvalidateFrame clears frame f. The caller must have dealt with dirty
@@ -214,16 +248,29 @@ func (c *Cache) InvalidateFrame(f FrameID) {
 	c.frames[f] = Line{}
 }
 
-// Invalidate removes addr's line if present, returning a copy of the line
-// as it was (so the caller can write back dirty words), or nil.
-func (c *Cache) Invalidate(addr mem.Addr) *Line {
+// Invalidate removes addr's line if present and reports whether it was
+// there. Callers that need the dying line's data (for example to write
+// back its dirty words) use InvalidateInto instead.
+func (c *Cache) Invalidate(addr mem.Addr) bool {
 	f := c.FrameOf(addr)
 	if f < 0 {
-		return nil
+		return false
 	}
-	v := c.frames[f]
 	c.frames[f] = Line{}
-	return &v
+	return true
+}
+
+// InvalidateInto removes addr's line if present, copying the line as it
+// was into the caller-provided victim buffer, and reports whether it was
+// present. The buffer is untouched when the line is absent.
+func (c *Cache) InvalidateInto(addr mem.Addr, victim *Line) bool {
+	f := c.FrameOf(addr)
+	if f < 0 {
+		return false
+	}
+	*victim = c.frames[f]
+	c.frames[f] = Line{}
+	return true
 }
 
 // ForEachValid calls fn for every valid line. fn may mutate the line (for

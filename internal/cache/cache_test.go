@@ -53,8 +53,9 @@ func TestLookupInsert(t *testing.T) {
 	if c.Misses != 1 {
 		t.Errorf("misses = %d", c.Misses)
 	}
-	f, victim := c.Insert(0x1000, lineWords(7), StateNone)
-	if victim != nil {
+	var victim Line
+	f, evicted := c.Insert(0x1000, lineWords(7), StateNone, &victim)
+	if evicted {
 		t.Error("insert into empty set should not evict")
 	}
 	if got := c.Frame(f).Tag; got != 0x1000 {
@@ -74,24 +75,41 @@ func TestLookupInsert(t *testing.T) {
 
 func TestInsertDuplicatePanics(t *testing.T) {
 	c := l1()
-	c.Insert(0x40, lineWords(0), StateNone)
+	c.Insert(0x40, lineWords(0), StateNone, nil)
 	defer func() {
 		if recover() == nil {
 			t.Error("duplicate insert should panic")
 		}
 	}()
-	c.Insert(0x40, lineWords(0), StateNone)
+	c.Insert(0x40, lineWords(0), StateNone, nil)
+}
+
+// TestInsertDuplicatePanicsWithInvalidWay pins the subtlety of the merged
+// scan: the duplicate check must cover the whole set even when an invalid
+// way appears before the duplicate.
+func TestInsertDuplicatePanicsWithInvalidWay(t *testing.T) {
+	c := New(Config{Bytes: 2 * 64 * 2, Ways: 2})
+	c.Insert(0, lineWords(1), StateNone, nil)   // way 0 of set 0
+	c.Insert(128, lineWords(2), StateNone, nil) // way 1 of set 0
+	c.Invalidate(0)                             // way 0 now invalid, duplicate sits in way 1
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate insert behind an invalid way should panic")
+		}
+	}()
+	c.Insert(128, lineWords(3), StateNone, nil)
 }
 
 func TestLRUEviction(t *testing.T) {
 	c := New(Config{Bytes: 2 * 64 * 2, Ways: 2}) // 2 sets × 2 ways
 	// Three lines mapping to set 0: line addresses 0, 128, 256.
-	c.Insert(0, lineWords(1), StateNone)
-	c.Insert(128, lineWords(2), StateNone)
+	c.Insert(0, lineWords(1), StateNone, nil)
+	c.Insert(128, lineWords(2), StateNone, nil)
 	c.Lookup(0) // make line 0 MRU
-	_, victim := c.Insert(256, lineWords(3), StateNone)
-	if victim == nil || victim.Tag != 128 {
-		t.Fatalf("victim = %+v, want tag 128 (LRU)", victim)
+	var victim Line
+	_, evicted := c.Insert(256, lineWords(3), StateNone, &victim)
+	if !evicted || victim.Tag != 128 {
+		t.Fatalf("victim = %+v (evicted=%v), want tag 128 (LRU)", victim, evicted)
 	}
 	if c.Peek(0) == nil || c.Peek(256) == nil || c.Peek(128) != nil {
 		t.Error("post-eviction contents wrong")
@@ -100,7 +118,7 @@ func TestLRUEviction(t *testing.T) {
 
 func TestVictimPrefersInvalidWay(t *testing.T) {
 	c := New(Config{Bytes: 2 * 64 * 2, Ways: 2})
-	c.Insert(0, lineWords(1), StateNone)
+	c.Insert(0, lineWords(1), StateNone, nil)
 	f := c.Victim(128)
 	if c.Frame(f).Valid {
 		t.Error("victim should be the invalid way")
@@ -109,10 +127,11 @@ func TestVictimPrefersInvalidWay(t *testing.T) {
 
 func TestDirtyEvictionCounted(t *testing.T) {
 	c := New(Config{Bytes: 1 * 64 * 1, Ways: 1}) // direct-mapped single line
-	c.Insert(0, lineWords(1), StateNone)
+	c.Insert(0, lineWords(1), StateNone, nil)
 	c.Frame(c.FrameOf(0)).Dirty = mem.Bit(3)
-	_, victim := c.Insert(64, lineWords(2), StateNone)
-	if victim == nil || !victim.IsDirty() {
+	var victim Line
+	_, evicted := c.Insert(64, lineWords(2), StateNone, &victim)
+	if !evicted || !victim.IsDirty() {
 		t.Fatal("dirty victim should be returned dirty")
 	}
 	if c.WritebacksOnEvict != 1 {
@@ -122,16 +141,24 @@ func TestDirtyEvictionCounted(t *testing.T) {
 
 func TestInvalidate(t *testing.T) {
 	c := l1()
-	c.Insert(0x80, lineWords(9), StateNone)
-	v := c.Invalidate(0x80)
-	if v == nil || v.Tag != 0x80 || v.Words[0] != 9 {
-		t.Fatalf("invalidate returned %+v", v)
+	c.Insert(0x80, lineWords(9), StateNone, nil)
+	var v Line
+	if !c.InvalidateInto(0x80, &v) || v.Tag != 0x80 || v.Words[0] != 9 {
+		t.Fatalf("InvalidateInto returned %+v", v)
 	}
 	if c.Peek(0x80) != nil {
 		t.Error("line still present after invalidate")
 	}
-	if c.Invalidate(0x80) != nil {
-		t.Error("second invalidate should return nil")
+	if c.Invalidate(0x80) {
+		t.Error("second invalidate should report absent")
+	}
+	c.Insert(0x80, lineWords(3), StateNone, nil)
+	if !c.Invalidate(0x80) || c.Peek(0x80) != nil {
+		t.Error("Invalidate should drop the line and report presence")
+	}
+	v = Line{Tag: 0x123}
+	if c.InvalidateInto(0xbeef, &v) || v.Tag != 0x123 {
+		t.Error("InvalidateInto of an absent line must not touch the buffer")
 	}
 }
 
@@ -145,8 +172,8 @@ func TestPeekDoesNotCount(t *testing.T) {
 
 func TestFlashInvalidateDrainsDirty(t *testing.T) {
 	c := l1()
-	c.Insert(0, lineWords(1), StateNone)
-	c.Insert(64, lineWords(2), StateNone)
+	c.Insert(0, lineWords(1), StateNone, nil)
+	c.Insert(64, lineWords(2), StateNone, nil)
 	c.Frame(c.FrameOf(64)).Dirty = mem.FullMask
 	var drained []mem.Addr
 	n := c.FlashInvalidate(func(l *Line) { drained = append(drained, l.Tag) })
@@ -163,8 +190,8 @@ func TestFlashInvalidateDrainsDirty(t *testing.T) {
 
 func TestCountDirty(t *testing.T) {
 	c := l1()
-	c.Insert(0, lineWords(1), StateNone)
-	c.Insert(64, lineWords(2), StateNone)
+	c.Insert(0, lineWords(1), StateNone, nil)
+	c.Insert(64, lineWords(2), StateNone, nil)
 	c.Frame(c.FrameOf(0)).Dirty = mem.Bit(0)
 	if c.CountValid() != 2 || c.CountDirty() != 1 {
 		t.Errorf("valid=%d dirty=%d", c.CountValid(), c.CountDirty())
@@ -179,7 +206,7 @@ func TestSetInvariant(t *testing.T) {
 		for _, a := range addrs {
 			line := mem.LineAddr(mem.Addr(a))
 			if c.Peek(line) == nil {
-				c.Insert(line, lineWords(mem.Word(a)), StateNone)
+				c.Insert(line, lineWords(mem.Word(a)), StateNone, nil)
 			}
 		}
 		perSet := make(map[int]int)
@@ -209,7 +236,7 @@ func TestInsertThenLookupValueFidelity(t *testing.T) {
 	f := func(seed uint16) bool {
 		c := l1()
 		base := mem.LineAddr(mem.Addr(seed) * 64)
-		c.Insert(base, lineWords(mem.Word(seed)), StateNone)
+		c.Insert(base, lineWords(mem.Word(seed)), StateNone, nil)
 		l := c.Lookup(base + 32)
 		return l != nil && l.Words[8] == mem.Word(seed)+8
 	}
@@ -223,5 +250,28 @@ func TestStateString(t *testing.T) {
 		if st.String() != want {
 			t.Errorf("%d.String() = %q", st, st.String())
 		}
+	}
+}
+
+// Property: Insert lands in exactly the frame Victim predicts — the merged
+// single-scan selection and the standalone Victim scan always agree.
+func TestInsertMatchesVictimPrediction(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := New(Config{Bytes: 4 * 64 * 2, Ways: 2})
+		for _, a := range addrs {
+			line := mem.LineAddr(mem.Addr(a))
+			if c.Peek(line) != nil {
+				continue
+			}
+			want := c.Victim(line)
+			got, _ := c.Insert(line, lineWords(mem.Word(a)), StateNone, nil)
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
 	}
 }

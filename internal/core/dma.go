@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/stats"
@@ -69,8 +70,8 @@ func (h *Hierarchy) DMACopy(core int, dst mem.Addr, src mem.Range, toBlock int) 
 				l3l.Words = words
 				l3l.Dirty = mem.FullMask
 			} else {
-				_, victim := h.l3.Insert(dline, &words, 0)
-				if victim != nil && victim.IsDirty() {
+				var victim cache.Line
+				if _, evicted := h.l3.Insert(dline, &words, 0, &victim); evicted && victim.IsDirty() {
 					h.writeMemory(victim.Tag, &victim.Words, victim.Dirty)
 				}
 				h.l3.Peek(dline).Dirty = mem.FullMask
@@ -84,8 +85,8 @@ func (h *Hierarchy) DMACopy(core int, dst mem.Addr, src mem.Range, toBlock int) 
 			l2l.Words = words
 			l2l.Dirty = 0
 		} else {
-			_, victim := l2.Insert(dline, &words, 0)
-			if victim != nil && victim.IsDirty() {
+			var victim cache.Line
+			if _, evicted := l2.Insert(dline, &words, 0, &victim); evicted && victim.IsDirty() {
 				h.mergeBelowL2(victim.Tag, &victim.Words, victim.Dirty)
 			}
 		}

@@ -259,8 +259,8 @@ func (h *Hierarchy) Store(core int, a mem.Addr, v mem.Word) int64 {
 func (h *Hierarchy) fillL1(core int, line mem.Addr) ([mem.WordsPerLine]mem.Word, int64) {
 	b := h.m.BlockOf(core)
 	words, lat := h.readThroughL2(core, b, line)
-	_, victim := h.l1[core].Insert(line, &words, cache.StateNone)
-	if victim != nil && victim.IsDirty() {
+	var victim cache.Line
+	if _, evicted := h.l1[core].Insert(line, &words, cache.StateNone, &victim); evicted && victim.IsDirty() {
 		// Victim writeback drains through the write buffer: traffic but no
 		// exposed latency.
 		h.mergeBelowL1(b, victim.Tag, &victim.Words, victim.Dirty)
@@ -303,8 +303,8 @@ func (h *Hierarchy) fillL2(b int, line mem.Addr) ([mem.WordsPerLine]mem.Word, in
 			lat += p.MemRT + mesh.RTLatency(l3n, h.m.MemNode(line))
 			mesh.Account(stats.MemoryTraffic, noc.CtrlFlits()+noc.DataFlits(mem.LineBytes))
 			h.backing.ReadLine(line, &words)
-			_, v3 := h.l3.Insert(line, &words, cache.StateNone)
-			if v3 != nil && v3.IsDirty() {
+			var v3 cache.Line
+			if _, evicted := h.l3.Insert(line, &words, cache.StateNone, &v3); evicted && v3.IsDirty() {
 				h.writeMemory(v3.Tag, &v3.Words, v3.Dirty)
 			}
 		}
@@ -313,8 +313,8 @@ func (h *Hierarchy) fillL2(b int, line mem.Addr) ([mem.WordsPerLine]mem.Word, in
 		mesh.Account(stats.MemoryTraffic, noc.CtrlFlits()+noc.DataFlits(mem.LineBytes))
 		h.backing.ReadLine(line, &words)
 	}
-	_, victim := h.l2[b].Insert(line, &words, cache.StateNone)
-	if victim != nil && victim.IsDirty() {
+	var victim cache.Line
+	if _, evicted := h.l2[b].Insert(line, &words, cache.StateNone, &victim); evicted && victim.IsDirty() {
 		h.mergeBelowL2(victim.Tag, &victim.Words, victim.Dirty)
 		h.ctr.Inc("l2.evict.dirty", 1)
 	}

@@ -138,21 +138,22 @@ func (h *Hierarchy) INV(core int, r mem.Range, lvl isa.Level) int64 {
 	b := h.m.BlockOf(core)
 	var lat int64
 	drains := 0
+	var dead cache.Line // victim buffer reused across lines
 	r.Lines(func(line mem.Addr, _ mem.LineMask) {
 		lat += p.ScanPerFrame
-		if l := h.l1[core].Invalidate(line); l != nil {
+		if h.l1[core].InvalidateInto(line, &dead) {
 			h.ctr.Inc("inv.l1lines", 1)
-			if l.IsDirty() {
-				h.wbDirtyWordsOfInvalidated(b, l, lvl)
+			if dead.IsDirty() {
+				h.wbDirtyWordsOfInvalidated(b, &dead, lvl)
 				drains++
 			}
 		}
 		if lvl == isa.LevelGlobal {
 			lat += p.ScanPerFrame // L2 tag check
-			if l2l := h.l2[b].Invalidate(line); l2l != nil {
+			if h.l2[b].InvalidateInto(line, &dead) {
 				h.ctr.Inc("inv.l2lines", 1)
-				if l2l.IsDirty() {
-					h.pushL2WordsToL3(l2l)
+				if dead.IsDirty() {
+					h.pushL2WordsToL3(&dead)
 					drains++
 				}
 			}

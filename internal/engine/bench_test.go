@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// nullHierarchy answers every memory operation in zero cycles, so the
+// engine benchmark isolates scheduler overhead (runnable selection plus
+// the guest channel round trip) from hierarchy modeling cost.
+type nullHierarchy struct {
+	m   *mem.Memory
+	ctr *stats.Counters
+}
+
+func newNullHierarchy() *nullHierarchy {
+	return &nullHierarchy{m: mem.NewMemory(), ctr: stats.NewCounters()}
+}
+
+func (n *nullHierarchy) Load(core int, a mem.Addr) (mem.Word, int64)  { return n.m.ReadWord(a), 1 }
+func (n *nullHierarchy) Store(core int, a mem.Addr, v mem.Word) int64 { n.m.WriteWord(a, v); return 1 }
+func (n *nullHierarchy) LoadUncached(core int, a mem.Addr) (mem.Word, int64) {
+	return n.m.ReadWord(a), 1
+}
+func (n *nullHierarchy) StoreUncached(core int, a mem.Addr, v mem.Word) int64 {
+	n.m.WriteWord(a, v)
+	return 1
+}
+func (n *nullHierarchy) WB(core int, r mem.Range, lvl isa.Level) int64    { return 1 }
+func (n *nullHierarchy) INV(core int, r mem.Range, lvl isa.Level) int64   { return 1 }
+func (n *nullHierarchy) WBAll(core int, useMEB bool, lvl isa.Level) int64 { return 1 }
+func (n *nullHierarchy) INVAll(core int, lazy bool, lvl isa.Level) int64  { return 1 }
+func (n *nullHierarchy) WBCons(core int, r mem.Range, cons int) int64     { return 1 }
+func (n *nullHierarchy) InvProd(core int, r mem.Range, prod int) int64    { return 1 }
+func (n *nullHierarchy) WBConsAll(core, cons int) int64                   { return 1 }
+func (n *nullHierarchy) InvProdAll(core, prod int) int64                  { return 1 }
+func (n *nullHierarchy) SigPublish(core, ch int) int64                    { return 1 }
+func (n *nullHierarchy) INVSig(core, ch int) int64                        { return 1 }
+func (n *nullHierarchy) DMACopy(core int, dst mem.Addr, src mem.Range, toBlock int) int64 {
+	return 1
+}
+func (n *nullHierarchy) EpochBoundary(core int)      {}
+func (n *nullHierarchy) SyncCost(core, id int) int64 { return 1 }
+func (n *nullHierarchy) Drain()                      {}
+func (n *nullHierarchy) Memory() *mem.Memory         { return n.m }
+func (n *nullHierarchy) Traffic() stats.Traffic      { return stats.Traffic{} }
+func (n *nullHierarchy) Counters() *stats.Counters   { return n.ctr }
+
+// BenchmarkEngineStep measures scheduler throughput in steps per second:
+// T threads each issue opsPerGuest zero-latency operations with staggered
+// compute phases, so the runnable set stays full and every step exercises
+// the next-thread selection (linear scan before the heap rewrite, pop/push
+// after). The op/s metric is the end-to-end simulated operation rate.
+func BenchmarkEngineStep(b *testing.B) {
+	for _, threads := range []int{4, 16, 64} {
+		threads := threads
+		b.Run(benchName("threads", threads), func(b *testing.B) {
+			const opsPerGuest = 2000
+			guests := make([]Guest, threads)
+			for i := range guests {
+				i := i
+				guests[i] = func(p Proc) {
+					base := mem.Addr(0x10000 + i*0x4000)
+					for k := 0; k < opsPerGuest; k++ {
+						p.Store(base+mem.Addr(k%64*4), mem.Word(k))
+						p.Load(base + mem.Addr((k+1)%64*4))
+						// Stagger local clocks so selection order churns.
+						p.Compute(int64(1 + (i+k)%7))
+					}
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := New(newNullHierarchy(), guests).Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(3*opsPerGuest*threads*b.N)/b.Elapsed().Seconds(), "op/s")
+		})
+	}
+}
+
+func benchName(prefix string, n int) string {
+	s := prefix + "-"
+	if n >= 10 {
+		s += string(rune('0' + n/10))
+	}
+	return s + string(rune('0'+n%10))
+}

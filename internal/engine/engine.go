@@ -131,6 +131,7 @@ type Engine struct {
 	h    Hierarchy
 	ctrl *hwsync.Controller
 	ts   []*thread
+	rq   runq
 }
 
 type thread struct {
@@ -209,18 +210,10 @@ func (e *Engine) Run() (*Result, error) {
 }
 
 // pickRunnable returns the ready thread with minimum time (ties: lowest
-// ID), or nil.
+// ID), or nil. Ready threads live in the run queue; see runq for why the
+// heap order is equivalent to the old linear scan.
 func (e *Engine) pickRunnable() *thread {
-	var best *thread
-	for _, t := range e.ts {
-		if t.state != ready {
-			continue
-		}
-		if best == nil || t.time < best.time {
-			best = t
-		}
-	}
-	return best
+	return e.rq.pop()
 }
 
 func (e *Engine) allDone() bool {
@@ -402,7 +395,8 @@ func (e *Engine) reply(t *thread, val mem.Word) {
 }
 
 // recvNext receives thread t's next op, marking it done when the guest
-// returns.
+// returns. This is the single point where a thread becomes ready, and
+// t.time is already final here, so it is also the single push site.
 func (e *Engine) recvNext(t *thread) {
 	op, ok := <-t.req
 	if !ok {
@@ -411,6 +405,7 @@ func (e *Engine) recvNext(t *thread) {
 	}
 	t.next = op
 	t.state = ready
+	e.rq.push(t)
 }
 
 // runGuest runs one guest with panic capture.

@@ -1,0 +1,71 @@
+package engine
+
+// runq is a binary min-heap of ready threads ordered by (time, thread ID),
+// replacing the per-step linear scan over all threads. The ordering is
+// exactly the old pickRunnable tie-break: smallest local clock first, and
+// among equal clocks the lowest thread ID (the linear scan kept the first
+// strict minimum, i.e. the lowest-index thread).
+//
+// No decrease-key is needed: a thread is pushed only from recvNext, at
+// which point its clock is final for the upcoming step (step, wake, and
+// the sync paths all settle t.time before replying), and a ready thread's
+// clock never changes until it is popped. Blocked threads are simply not
+// in the queue — they were popped before blocking and are re-pushed when
+// their wake-up reply reaches recvNext.
+type runq struct {
+	ts []*thread
+}
+
+func runqLess(a, b *thread) bool {
+	return a.time < b.time || (a.time == b.time && a.id < b.id)
+}
+
+func (q *runq) len() int { return len(q.ts) }
+
+func (q *runq) push(t *thread) {
+	q.ts = append(q.ts, t)
+	i := len(q.ts) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !runqLess(q.ts[i], q.ts[parent]) {
+			break
+		}
+		q.ts[i], q.ts[parent] = q.ts[parent], q.ts[i]
+		i = parent
+	}
+}
+
+func (q *runq) pop() *thread {
+	n := len(q.ts)
+	if n == 0 {
+		return nil
+	}
+	top := q.ts[0]
+	last := q.ts[n-1]
+	q.ts[n-1] = nil // let the thread be collected once done
+	q.ts = q.ts[:n-1]
+	if n > 1 {
+		q.ts[0] = last
+		q.siftDown(0)
+	}
+	return top
+}
+
+func (q *runq) siftDown(i int) {
+	n := len(q.ts)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && runqLess(q.ts[r], q.ts[l]) {
+			min = r
+		}
+		if !runqLess(q.ts[min], q.ts[i]) {
+			return
+		}
+		q.ts[i], q.ts[min] = q.ts[min], q.ts[i]
+		i = min
+	}
+}

@@ -1,0 +1,52 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The heap must drain in exactly the order the old linear scan picked:
+// ascending time, ties by ascending thread ID.
+func TestRunqOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(64)
+		var q runq
+		ref := make([]*thread, 0, n)
+		for i := 0; i < n; i++ {
+			th := &thread{id: i, time: int64(rng.Intn(8))} // dense times force ties
+			q.push(th)
+			ref = append(ref, th)
+		}
+		sort.SliceStable(ref, func(a, b int) bool { return runqLess(ref[a], ref[b]) })
+		for i, want := range ref {
+			got := q.pop()
+			if got != want {
+				t.Fatalf("trial %d: pop %d = thread %d (t=%d), want thread %d (t=%d)",
+					trial, i, got.id, got.time, want.id, want.time)
+			}
+		}
+		if q.pop() != nil {
+			t.Fatal("drained queue must pop nil")
+		}
+	}
+}
+
+// Interleaved push/pop: re-pushing a popped thread with a later time (the
+// recvNext pattern) must keep the order correct.
+func TestRunqReinsert(t *testing.T) {
+	var q runq
+	a := &thread{id: 0, time: 0}
+	b := &thread{id: 1, time: 5}
+	q.push(a)
+	q.push(b)
+	if q.pop() != a {
+		t.Fatal("want a first")
+	}
+	a.time = 10
+	q.push(a)
+	if q.pop() != b || q.pop() != a || q.len() != 0 {
+		t.Fatal("reinsert order wrong")
+	}
+}

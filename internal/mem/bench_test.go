@@ -1,0 +1,50 @@
+package mem
+
+import "testing"
+
+// BenchmarkMemLoadStore measures the word and line access paths of the
+// backing store — the operations every simulated guest load/store funnels
+// into. The word path must stay allocation-free (TestWordPathZeroAlloc
+// enforces this); the numbers here gate the paged-store optimization in
+// BENCH_hotpath.json.
+func BenchmarkMemLoadStore(b *testing.B) {
+	// A working set of 4096 lines (256 KB) spread over the low address
+	// space, roughly what one intra-block application touches.
+	const lines = 4096
+	b.Run("word", func(b *testing.B) {
+		m := NewMemory()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink Word
+		for i := 0; i < b.N; i++ {
+			a := Addr((i % (lines * WordsPerLine)) * WordBytes)
+			m.WriteWord(a, Word(i))
+			sink += m.ReadWord(a)
+		}
+		_ = sink
+	})
+	b.Run("line", func(b *testing.B) {
+		m := NewMemory()
+		var buf [WordsPerLine]Word
+		for i := range buf {
+			buf[i] = Word(i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := Addr((i % lines) * LineBytes)
+			m.WriteLine(a, &buf, FullMask)
+			m.ReadLine(a, &buf)
+		}
+	})
+	b.Run("line-masked", func(b *testing.B) {
+		m := NewMemory()
+		var buf [WordsPerLine]Word
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := Addr((i % lines) * LineBytes)
+			m.WriteLine(a, &buf, LineMask(0x00f3))
+		}
+	})
+}

@@ -1,6 +1,9 @@
 package mem
 
-import "testing"
+import (
+	"encoding/binary"
+	"testing"
+)
 
 // FuzzRangeLines checks the line-expansion invariants for arbitrary
 // ranges: iteration count matches NumLines, masks are nonempty, lines are
@@ -38,6 +41,89 @@ func FuzzRangeLines(f *testing.F) {
 			t.Fatalf("selected words cover %d bytes < range %d", words*WordBytes, r.Bytes)
 		}
 	})
+}
+
+// FuzzPagedVsOracle differentially fuzzes the paged store against the
+// retained map-backed storeOracle: a script of ReadWord / WriteWord /
+// ReadLine / WriteLine operations with arbitrary addresses, values, and
+// masks is applied to both, and every read result and the footprint must
+// agree at each step.
+func FuzzPagedVsOracle(f *testing.F) {
+	// Seed scripts: op byte + 4 address bytes + 4 value bytes + 2 mask
+	// bytes per operation.
+	script := func(ops ...[]byte) []byte {
+		var out []byte
+		for _, op := range ops {
+			out = append(out, op...)
+		}
+		return out
+	}
+	step := func(op byte, addr uint32, val uint32, mask uint16) []byte {
+		b := []byte{op}
+		b = binary.LittleEndian.AppendUint32(b, addr)
+		b = binary.LittleEndian.AppendUint32(b, val)
+		b = binary.LittleEndian.AppendUint16(b, mask)
+		return b
+	}
+	f.Add(script(step(1, 0x40, 7, 0), step(0, 0x40, 0, 0)))
+	f.Add(script(step(3, 0x1000, 9, 0xffff), step(2, 0x1000, 0, 0)))
+	f.Add(script(step(3, 0xfffff000, 1, 0x00f3), step(2, 0xfffff000, 0, 0)))
+	f.Add(script(step(1, 0, 1, 0), step(3, 0, 2, 0x8001), step(0, 0x3c, 0, 0)))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		paged := NewMemory()
+		oracle := NewOracleMemory()
+		const stride = 11
+		for len(raw) >= stride {
+			op := raw[0]
+			addr := Addr(binary.LittleEndian.Uint32(raw[1:5]))
+			val := Word(binary.LittleEndian.Uint32(raw[5:9]))
+			mask := LineMask(binary.LittleEndian.Uint16(raw[9:11]))
+			raw = raw[stride:]
+			switch op % 4 {
+			case 0:
+				g, w := paged.ReadWord(addr), oracle.ReadWord(addr)
+				if g != w {
+					t.Fatalf("ReadWord(%#x) = %d, oracle %d", uint32(addr), g, w)
+				}
+			case 1:
+				paged.WriteWord(addr, val)
+				oracle.WriteWord(addr, val)
+			case 2:
+				var g, w [WordsPerLine]Word
+				paged.ReadLine(addr, &g)
+				oracle.ReadLine(addr, &w)
+				if g != w {
+					t.Fatalf("ReadLine(%#x) = %v, oracle %v", uint32(addr), g, w)
+				}
+			case 3:
+				var src [WordsPerLine]Word
+				for i := range src {
+					src[i] = val + Word(i)
+				}
+				paged.WriteLine(addr, &src, mask)
+				oracle.WriteLine(addr, &src, mask)
+			}
+			if g, w := paged.Footprint(), oracle.Footprint(); g != w {
+				t.Fatalf("Footprint = %d, oracle %d", g, w)
+			}
+		}
+	})
+}
+
+// TestWordPathZeroAlloc is the benchmark guard for the word access path:
+// once a page exists, ReadWord and WriteWord must not allocate.
+func TestWordPathZeroAlloc(t *testing.T) {
+	m := NewMemory()
+	m.WriteWord(0x1234, 1) // fault the page in
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.WriteWord(0x1238, 2)
+		if m.ReadWord(0x1234) == 0 {
+			t.Fatal("lost write")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("word read/write path allocates %.1f times per op, want 0", allocs)
+	}
 }
 
 // FuzzMaskedWrite checks that masked line writes never touch unselected

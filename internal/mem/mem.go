@@ -5,7 +5,11 @@
 // sits below the last-level cache.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
 
 // Addr is a byte address in the simulated flat physical address space.
 type Addr uint32
@@ -124,31 +128,120 @@ func (r Range) String() string {
 	return fmt.Sprintf("[%#x,%#x)", uint32(r.Base), uint32(r.End()))
 }
 
+// Geometry of the paged backing store: fixed-size pages indexed by
+// addr >> pageShift. 64 KiB pages keep the page table small for the low
+// address ranges workloads actually touch while making line operations
+// single-page slice copies (a line never straddles a page because
+// pageShift > 6).
+const (
+	pageShift = 16
+	pageBytes = 1 << pageShift
+	pageWords = pageBytes / WordBytes
+)
+
+// page is one backing-store page: its word values plus a population bitmap
+// (bit w set once word w has been written) that keeps Footprint exact.
+type page struct {
+	words   [pageWords]Word
+	written [pageWords / 64]uint64
+}
+
 // Memory is the word-granular backing store below the last-level cache. It
 // holds real values so that the simulators are functional, not just timed:
 // a consumer that misses a required self-invalidation observably reads a
 // stale value.
 //
-// Memory is sparse; untouched words read as zero.
+// Memory is sparse; untouched words read as zero. The default
+// implementation is a paged store — a page table of fixed-size pages grown
+// on demand — so the word and line paths are index arithmetic plus slice
+// copies with zero allocation in steady state. The original map-backed
+// store is retained as storeOracle for differential testing.
 type Memory struct {
-	words map[Addr]Word
+	pages  []*page
+	pop    int
+	oracle *storeOracle // non-nil: answer through the map oracle instead
 }
 
+// oracleDefault makes NewMemory return oracle-backed stores. It exists so
+// regression tests can run a whole sweep against the reference
+// implementation; see UseOracleStore.
+var oracleDefault atomic.Bool
+
+// UseOracleStore globally switches NewMemory between the paged store
+// (false, the default) and the retained map-backed storeOracle (true).
+// It is a test hook: the byte-identical-results regression runs one sweep
+// under each backend and compares the canonical documents.
+func UseOracleStore(v bool) { oracleDefault.Store(v) }
+
 // NewMemory returns an empty backing store.
-func NewMemory() *Memory { return &Memory{words: make(map[Addr]Word)} }
+func NewMemory() *Memory {
+	if oracleDefault.Load() {
+		return NewOracleMemory()
+	}
+	return &Memory{}
+}
+
+// NewOracleMemory returns a backing store answered by the map-based
+// storeOracle regardless of the UseOracleStore setting.
+func NewOracleMemory() *Memory { return &Memory{oracle: newStoreOracle()} }
+
+// page returns the page holding page number pn, growing the page table and
+// allocating the page on first touch.
+func (m *Memory) page(pn uint32) *page {
+	if int(pn) >= len(m.pages) {
+		grown := make([]*page, pn+1)
+		copy(grown, m.pages)
+		m.pages = grown
+	}
+	p := m.pages[pn]
+	if p == nil {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	return p
+}
 
 // ReadWord returns the value of the aligned word containing a.
-func (m *Memory) ReadWord(a Addr) Word { return m.words[WordAddr(a)] }
+func (m *Memory) ReadWord(a Addr) Word {
+	if m.oracle != nil {
+		return m.oracle.readWord(a)
+	}
+	pn := uint32(a) >> pageShift
+	if int(pn) >= len(m.pages) || m.pages[pn] == nil {
+		return 0
+	}
+	return m.pages[pn].words[(uint32(a)&(pageBytes-1))>>2]
+}
 
 // WriteWord stores v into the aligned word containing a.
-func (m *Memory) WriteWord(a Addr, v Word) { m.words[WordAddr(a)] = v }
+func (m *Memory) WriteWord(a Addr, v Word) {
+	if m.oracle != nil {
+		m.oracle.writeWord(a, v)
+		return
+	}
+	p := m.page(uint32(a) >> pageShift)
+	wi := (uint32(a) & (pageBytes - 1)) >> 2
+	p.words[wi] = v
+	if bm := &p.written[wi>>6]; *bm&(1<<(wi&63)) == 0 {
+		*bm |= 1 << (wi & 63)
+		m.pop++
+	}
+}
 
 // ReadLine copies the 16 words of the line containing a into dst.
 func (m *Memory) ReadLine(a Addr, dst *[WordsPerLine]Word) {
-	line := LineAddr(a)
-	for i := range dst {
-		dst[i] = m.words[WordOfLine(line, i)]
+	if m.oracle != nil {
+		m.oracle.readLine(a, dst)
+		return
 	}
+	line := LineAddr(a)
+	pn := uint32(line) >> pageShift
+	if int(pn) >= len(m.pages) || m.pages[pn] == nil {
+		*dst = [WordsPerLine]Word{}
+		return
+	}
+	wi := (uint32(line) & (pageBytes - 1)) >> 2
+	copy(dst[:], m.pages[pn].words[wi:wi+WordsPerLine])
 }
 
 // WriteLine stores the words of src selected by mask into the line
@@ -156,16 +249,72 @@ func (m *Memory) ReadLine(a Addr, dst *[WordsPerLine]Word) {
 // different words of the same line from clobbering each other (Section
 // III-B).
 func (m *Memory) WriteLine(a Addr, src *[WordsPerLine]Word, mask LineMask) {
+	if m.oracle != nil {
+		m.oracle.writeLine(a, src, mask)
+		return
+	}
+	if mask == 0 {
+		return
+	}
+	line := LineAddr(a)
+	p := m.page(uint32(line) >> pageShift)
+	wi := (uint32(line) & (pageBytes - 1)) >> 2
+	// A line's 16 population bits land in a single bitmap word: wi is a
+	// multiple of 16, so shift is 0, 16, 32, or 48.
+	bm := &p.written[wi>>6]
+	shift := wi & 63
+	if mask == FullMask {
+		copy(p.words[wi:wi+WordsPerLine], src[:])
+	} else {
+		for i := 0; i < WordsPerLine; i++ {
+			if mask.Has(i) {
+				p.words[wi+uint32(i)] = src[i]
+			}
+		}
+	}
+	newly := (uint64(mask) << shift) &^ *bm
+	m.pop += bits.OnesCount64(newly)
+	*bm |= uint64(mask) << shift
+}
+
+// Footprint returns the number of distinct words ever written.
+func (m *Memory) Footprint() int {
+	if m.oracle != nil {
+		return m.oracle.footprint()
+	}
+	return m.pop
+}
+
+// storeOracle is the original map-backed implementation of the backing
+// store, kept verbatim as the reference for differential fuzzing of the
+// paged store (see fuzz_test.go) and for whole-sweep byte-identical
+// regression runs (UseOracleStore).
+type storeOracle struct {
+	words map[Addr]Word
+}
+
+func newStoreOracle() *storeOracle { return &storeOracle{words: make(map[Addr]Word)} }
+
+func (o *storeOracle) readWord(a Addr) Word     { return o.words[WordAddr(a)] }
+func (o *storeOracle) writeWord(a Addr, v Word) { o.words[WordAddr(a)] = v }
+
+func (o *storeOracle) readLine(a Addr, dst *[WordsPerLine]Word) {
+	line := LineAddr(a)
+	for i := range dst {
+		dst[i] = o.words[WordOfLine(line, i)]
+	}
+}
+
+func (o *storeOracle) writeLine(a Addr, src *[WordsPerLine]Word, mask LineMask) {
 	line := LineAddr(a)
 	for i := 0; i < WordsPerLine; i++ {
 		if mask.Has(i) {
-			m.words[WordOfLine(line, i)] = src[i]
+			o.words[WordOfLine(line, i)] = src[i]
 		}
 	}
 }
 
-// Footprint returns the number of distinct words ever written.
-func (m *Memory) Footprint() int { return len(m.words) }
+func (o *storeOracle) footprint() int { return len(o.words) }
 
 // Arena hands out aligned, non-overlapping regions of the address space to
 // workloads. Allocation starts above address 0 so that the zero Addr can be
@@ -184,15 +333,19 @@ func NewArena(base Addr) *Arena {
 }
 
 // Alloc reserves n bytes aligned to a line boundary and returns the range.
+// It panics once the line-rounded end of the allocation would pass the top
+// of the 32-bit address space; the topmost line is unallocatable because a
+// Range ending there could not represent its own End.
 func (ar *Arena) Alloc(n uint32) Range {
 	if n == 0 {
 		n = WordBytes
 	}
 	r := Range{Base: ar.next, Bytes: n}
-	ar.next = LineAddr(r.End()+LineBytes-1) + 0
-	if ar.next < r.End() {
+	next := (uint64(ar.next) + uint64(n) + LineBytes - 1) &^ uint64(LineBytes-1)
+	if next >= 1<<32 {
 		panic("mem: arena exhausted 32-bit address space")
 	}
+	ar.next = Addr(next)
 	return r
 }
 

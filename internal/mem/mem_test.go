@@ -249,3 +249,79 @@ func TestArenaZeroByteAlloc(t *testing.T) {
 		t.Error("zero-size alloc should still reserve a word")
 	}
 }
+
+func TestArenaNearTopOfAddressSpace(t *testing.T) {
+	// Allocations stay line-aligned right up to the top of the 32-bit
+	// space; the topmost line is unallocatable (a Range ending at 2^32
+	// could not represent its End), so crossing into it panics instead of
+	// silently wrapping.
+	ar := NewArena(0xFFFF_FE00)
+	r := ar.Alloc(0x100)
+	if r.Base != 0xFFFF_FE00 || r.Base%LineBytes != 0 {
+		t.Fatalf("first alloc base %#x, want line-aligned 0xFFFFFE00", uint32(r.Base))
+	}
+	r2 := ar.Alloc(0x40)
+	if r2.Base != 0xFFFF_FF00 || r2.End() != 0xFFFF_FF40 {
+		t.Fatalf("second alloc = %v, want [0xFFFFFF00,0xFFFFFF40)", r2)
+	}
+	if r.Overlaps(r2) {
+		t.Fatalf("allocations overlap: %v and %v", r, r2)
+	}
+	// 0x80 more bytes fit (up to 0xFFFFFFC0, the base of the last line).
+	r3 := ar.Alloc(0x80)
+	if r3.End() != 0xFFFF_FFC0 || ar.Brk() != 0xFFFF_FFC0 {
+		t.Fatalf("third alloc = %v brk %#x, want end and brk 0xFFFFFFC0", r3, uint32(ar.Brk()))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc into the topmost line did not panic")
+		}
+	}()
+	ar.Alloc(1)
+}
+
+func TestArenaOverflowPanics(t *testing.T) {
+	for _, n := range []uint32{0x41, 0x1000, 0xFFFF_FFFF} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Alloc(%#x) near top did not panic", n)
+				}
+			}()
+			ar := NewArena(0xFFFF_FFC0 - LineBytes)
+			ar.Alloc(n) // rounded end passes 2^32
+		}()
+	}
+}
+
+func TestMemoryFootprintExact(t *testing.T) {
+	m := NewMemory()
+	if m.Footprint() != 0 {
+		t.Fatalf("fresh footprint %d", m.Footprint())
+	}
+	m.WriteWord(0x100, 1)
+	m.WriteWord(0x100, 2) // rewrite: still one distinct word
+	m.WriteWord(0x104, 3)
+	var src [WordsPerLine]Word
+	m.WriteLine(0x100, &src, FullMask) // overlaps both words
+	if got := m.Footprint(); got != WordsPerLine {
+		t.Fatalf("footprint %d, want %d", got, WordsPerLine)
+	}
+	m.WriteLine(0x40000, &src, 0x0101) // distant page, 2 words
+	if got := m.Footprint(); got != WordsPerLine+2 {
+		t.Fatalf("footprint %d, want %d", got, WordsPerLine+2)
+	}
+}
+
+func TestUseOracleStore(t *testing.T) {
+	UseOracleStore(true)
+	defer UseOracleStore(false)
+	m := NewMemory()
+	if m.oracle == nil {
+		t.Fatal("UseOracleStore(true): NewMemory returned a paged store")
+	}
+	m.WriteWord(0x40, 9)
+	if m.ReadWord(0x40) != 9 || m.Footprint() != 1 {
+		t.Fatal("oracle-backed store misbehaves")
+	}
+}

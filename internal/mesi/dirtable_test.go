@@ -1,0 +1,119 @@
+package mesi
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestDirTableBasic(t *testing.T) {
+	dt := newDirTable()
+	if dt.lookup(0x40) != nil {
+		t.Fatal("empty table should miss")
+	}
+	e := dt.getOrCreate(0x40)
+	if e.state != dirUncached || e.presence != 0 {
+		t.Fatal("new entry not zeroed")
+	}
+	e.set(3)
+	if got := dt.getOrCreate(0x40); got != e {
+		t.Fatal("getOrCreate not idempotent")
+	}
+	if got := dt.lookup(0x40); got != e || !got.has(3) {
+		t.Fatal("lookup lost the entry")
+	}
+	if dt.len() != 1 {
+		t.Fatalf("len = %d, want 1", dt.len())
+	}
+	dt.del(0x40)
+	if dt.lookup(0x40) != nil || dt.len() != 0 {
+		t.Fatal("del did not remove the entry")
+	}
+	dt.del(0x40) // deleting an absent line is a no-op
+}
+
+// Pointer stability: entries created early must not move as the table grows
+// through many rehashes — callers hold *dirEntry across inserts.
+func TestDirTablePointerStability(t *testing.T) {
+	dt := newDirTable()
+	const n = 20000
+	ptrs := make([]*dirEntry, n)
+	for i := 0; i < n; i++ {
+		line := mem.Addr(i) * 64
+		ptrs[i] = dt.getOrCreate(line)
+		ptrs[i].presence = uint64(i) | 1
+	}
+	for i := 0; i < n; i++ {
+		line := mem.Addr(i) * 64
+		if got := dt.lookup(line); got != ptrs[i] {
+			t.Fatalf("entry %d moved: %p != %p", i, got, ptrs[i])
+		}
+		if ptrs[i].presence != uint64(i)|1 {
+			t.Fatalf("entry %d corrupted", i)
+		}
+	}
+}
+
+// freeIfZero must keep entries whose sticky migratory flags are set: they
+// carry protocol history that a re-created zero entry would lose.
+func TestDirTableFreeIfZero(t *testing.T) {
+	dt := newDirTable()
+	e := dt.getOrCreate(0x80)
+	e.set(5)
+	dt.freeIfZero(0x80)
+	if dt.lookup(0x80) == nil {
+		t.Fatal("entry with presence must survive freeIfZero")
+	}
+	e.clear(5)
+	e.noMigrate = true
+	dt.freeIfZero(0x80)
+	if dt.lookup(0x80) == nil {
+		t.Fatal("entry with noMigrate must survive freeIfZero")
+	}
+	e.noMigrate = false
+	e.owner = 7 // owner alone carries no information outside dirOwned
+	dt.freeIfZero(0x80)
+	if dt.lookup(0x80) != nil {
+		t.Fatal("zero entry must be freed")
+	}
+	dt.freeIfZero(0x100) // absent line is a no-op
+}
+
+// Differential check against a map under a random churn of creates and
+// deletes, exercising tombstone reuse, free-list recycling, and rehash.
+func TestDirTableVsMap(t *testing.T) {
+	dt := newDirTable()
+	ref := make(map[mem.Addr]uint64)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200000; i++ {
+		line := mem.Addr(rng.Intn(4096)) * 64
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Uint64()
+			dt.getOrCreate(line).presence = v
+			ref[line] = v
+		case 2:
+			dt.del(line)
+			delete(ref, line)
+		}
+	}
+	if dt.len() != len(ref) {
+		t.Fatalf("len = %d, map has %d", dt.len(), len(ref))
+	}
+	for line, v := range ref {
+		e := dt.lookup(line)
+		if e == nil || e.presence != v {
+			t.Fatalf("line %#x: got %v, want presence %d", uint32(line), e, v)
+		}
+	}
+}
+
+func TestForEachSharerMask(t *testing.T) {
+	var got []int
+	forEachSharerMask(1<<0|1<<7|1<<63, func(i int) { got = append(got, i) })
+	if len(got) != 3 || got[0] != 0 || got[1] != 7 || got[2] != 63 {
+		t.Fatalf("got %v, want [0 7 63]", got)
+	}
+	forEachSharerMask(0, func(i int) { t.Fatal("empty mask must not call back") })
+}

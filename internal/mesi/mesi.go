@@ -53,15 +53,6 @@ type dirEntry struct {
 func (e *dirEntry) clear(i int)    { e.presence &^= 1 << uint(i) }
 func (e *dirEntry) set(i int)      { e.presence |= 1 << uint(i) }
 func (e *dirEntry) has(i int) bool { return e.presence&(1<<uint(i)) != 0 }
-func (e *dirEntry) sharers() []int {
-	var out []int
-	for i := 0; i < 64; i++ {
-		if e.has(i) {
-			out = append(out, i)
-		}
-	}
-	return out
-}
 
 // Config sizes the coherent hierarchy; identical cache geometry to the
 // incoherent one so comparisons are apples-to-apples.
@@ -89,8 +80,8 @@ type Hierarchy struct {
 	l2      []*cache.Cache
 	l3      *cache.Cache
 
-	l2dir []map[mem.Addr]*dirEntry // per block: line -> per-core presence (core index within block)
-	l3dir map[mem.Addr]*dirEntry   // line -> per-block presence
+	l2dir []*dirTable // per block: line -> per-core presence (core index within block)
+	l3dir *dirTable   // line -> per-block presence
 
 	ctr *stats.Counters
 }
@@ -102,7 +93,7 @@ func New(m *topo.Machine, cfg Config) *Hierarchy {
 		backing: mem.NewMemory(),
 		l1:      make([]*cache.Cache, m.NumCores()),
 		l2:      make([]*cache.Cache, m.Blocks),
-		l2dir:   make([]map[mem.Addr]*dirEntry, m.Blocks),
+		l2dir:   make([]*dirTable, m.Blocks),
 		ctr:     stats.NewCounters(),
 	}
 	for c := range h.l1 {
@@ -110,14 +101,14 @@ func New(m *topo.Machine, cfg Config) *Hierarchy {
 	}
 	for b := range h.l2 {
 		h.l2[b] = cache.New(cfg.L2)
-		h.l2dir[b] = make(map[mem.Addr]*dirEntry)
+		h.l2dir[b] = newDirTable()
 	}
 	if m.L3Banks > 0 {
 		if cfg.L3.Bytes == 0 {
 			panic("mesi: machine has L3 banks but config has no L3 cache")
 		}
 		h.l3 = cache.New(cfg.L3)
-		h.l3dir = make(map[mem.Addr]*dirEntry)
+		h.l3dir = newDirTable()
 	}
 	return h
 }
@@ -144,21 +135,11 @@ func (h *Hierarchy) SyncCost(core, id int) int64 {
 func (h *Hierarchy) coreInBlock(core int) int { return core % h.m.CoresPerBlock }
 
 func (h *Hierarchy) dirL2(b int, line mem.Addr) *dirEntry {
-	e, ok := h.l2dir[b][line]
-	if !ok {
-		e = &dirEntry{}
-		h.l2dir[b][line] = e
-	}
-	return e
+	return h.l2dir[b].getOrCreate(line)
 }
 
 func (h *Hierarchy) dirL3(line mem.Addr) *dirEntry {
-	e, ok := h.l3dir[line]
-	if !ok {
-		e = &dirEntry{}
-		h.l3dir[line] = e
-	}
-	return e
+	return h.l3dir.getOrCreate(line)
 }
 
 // ---- Core-facing operations -------------------------------------------
@@ -285,9 +266,9 @@ func (h *Hierarchy) fetchIntoL1(core int, line mem.Addr, excl bool) int64 {
 	e.set(ci)
 
 	words := l2l.Words
-	_, victim := h.l1[core].Insert(line, &words, st)
-	if victim != nil {
-		h.l1VictimWriteback(core, victim)
+	var victim cache.Line
+	if _, evicted := h.l1[core].Insert(line, &words, st, &victim); evicted {
+		h.l1VictimWriteback(core, &victim)
 	}
 	return lat
 }
@@ -326,9 +307,9 @@ func (h *Hierarchy) invalidateBlockSharers(b int, line mem.Addr, keep int) int64
 	mesh := h.m.Mesh
 	bank := h.m.L2BankNode(b, line)
 	var worst int64
-	for _, s := range e.sharers() {
+	forEachSharerMask(e.presence, func(s int) {
 		if s == keep {
-			continue
+			return
 		}
 		core := b*h.m.CoresPerBlock + s
 		leg := mesh.RTLatency(bank, h.m.CoreNode(core))
@@ -350,7 +331,7 @@ func (h *Hierarchy) invalidateBlockSharers(b int, line mem.Addr, keep int) int64
 			h.l1[core].Invalidate(line)
 		}
 		e.clear(s)
-	}
+	})
 	keepHad := e.has(keep)
 	e.presence = 0
 	if keepHad {
@@ -380,6 +361,8 @@ func (h *Hierarchy) l1VictimWriteback(core int, victim *cache.Line) {
 		}
 	}
 	// Clean evictions are silent: presence bits go stale.
+	// If the writeback dropped the last presence bit, compact the entry.
+	h.l2dir[b].freeIfZero(victim.Tag)
 }
 
 // blockSoleHolder reports whether block b is the only block holding line
@@ -434,10 +417,9 @@ func (h *Hierarchy) ensureL2(b int, line mem.Addr, excl bool) int64 {
 		mesh.Account(stats.MemoryTraffic, noc.CtrlFlits()+noc.DataFlits(mem.LineBytes))
 		var words [mem.WordsPerLine]mem.Word
 		h.backing.ReadLine(line, &words)
-		var victim *cache.Line
-		_, victim = h.l3.Insert(line, &words, cache.StateNone)
-		if victim != nil {
-			h.recallL3Victim(victim)
+		var victim cache.Line
+		if _, evicted := h.l3.Insert(line, &words, cache.StateNone, &victim); evicted {
+			h.recallL3Victim(&victim)
 		}
 		l3l = h.l3.Peek(line)
 	}
@@ -492,9 +474,9 @@ func (h *Hierarchy) ensureL2(b int, line mem.Addr, excl bool) int64 {
 
 // insertL2 installs a line in block b's L2, handling the inclusive victim.
 func (h *Hierarchy) insertL2(b int, line mem.Addr, words *[mem.WordsPerLine]mem.Word) {
-	_, victim := h.l2[b].Insert(line, words, cache.StateNone)
-	if victim != nil {
-		h.evictL2Line(b, victim)
+	var victim cache.Line
+	if _, evicted := h.l2[b].Insert(line, words, cache.StateNone, &victim); evicted {
+		h.evictL2Line(b, &victim)
 	}
 }
 
@@ -504,7 +486,7 @@ func (h *Hierarchy) evictL2Line(b int, victim *cache.Line) {
 	e := h.dirL2(b, victim.Tag)
 	words := victim.Words
 	dirty := victim.IsDirty()
-	for _, s := range e.sharers() {
+	forEachSharerMask(e.presence, func(s int) {
 		core := b*h.m.CoresPerBlock + s
 		if l := h.l1[core].Peek(victim.Tag); l != nil {
 			if l.State == cache.Modified {
@@ -516,8 +498,8 @@ func (h *Hierarchy) evictL2Line(b int, victim *cache.Line) {
 			h.m.Mesh.Account(stats.Invalidation, 2*noc.CtrlFlits())
 			h.ctr.Inc("invalidations", 1)
 		}
-	}
-	delete(h.l2dir[b], victim.Tag)
+	})
+	h.l2dir[b].del(victim.Tag)
 	if dirty {
 		h.writeBelowL2(victim.Tag, &words)
 	}
@@ -531,6 +513,7 @@ func (h *Hierarchy) evictL2Line(b int, victim *cache.Line) {
 				e3.state = dirUncached
 			}
 		}
+		h.l3dir.freeIfZero(victim.Tag)
 	}
 	h.ctr.Inc("l2.evictions", 1)
 }
@@ -589,21 +572,21 @@ func (h *Hierarchy) recallBlock(b int, line mem.Addr, excl bool) int64 {
 	}
 	if excl {
 		// Invalidate every L1 copy in the block, then the L2 copy.
-		for _, s := range e.sharers() {
+		forEachSharerMask(e.presence, func(s int) {
 			core := b*h.m.CoresPerBlock + s
-			if h.l1[core].Invalidate(line) != nil {
+			if h.l1[core].Invalidate(line) {
 				mesh.Account(stats.Invalidation, 2*noc.CtrlFlits())
 				h.ctr.Inc("invalidations", 1)
 			}
-		}
-		delete(h.l2dir[b], line)
+		})
+		h.l2dir[b].del(line)
 	} else {
-		for _, s := range e.sharers() {
+		forEachSharerMask(e.presence, func(s int) {
 			core := b*h.m.CoresPerBlock + s
 			if l := h.l1[core].Peek(line); l != nil && l.State != cache.Shared {
 				l.State = cache.Shared
 			}
-		}
+		})
 		e.state = dirShared
 	}
 	// Refresh L3 with the block's data.
@@ -628,9 +611,9 @@ func (h *Hierarchy) invalidateSharerBlocks(line mem.Addr, keep int) int64 {
 	mesh := h.m.Mesh
 	l3n := h.m.L3Node(line)
 	var worst int64
-	for _, b := range e3.sharers() {
+	forEachSharerMask(e3.presence, func(b int) {
 		if b == keep {
-			continue
+			return
 		}
 		leg := mesh.RTLatency(l3n, h.m.L2BankNode(b, line))
 		if leg > worst {
@@ -640,14 +623,14 @@ func (h *Hierarchy) invalidateSharerBlocks(line mem.Addr, keep int) int64 {
 		h.ctr.Inc("invalidations", 1)
 		// Invalidate the block's L1 copies and its L2 copy.
 		eb := h.dirL2(b, line)
-		for _, s := range eb.sharers() {
+		forEachSharerMask(eb.presence, func(s int) {
 			core := b*h.m.CoresPerBlock + s
 			h.l1[core].Invalidate(line)
-		}
-		delete(h.l2dir[b], line)
+		})
+		h.l2dir[b].del(line)
 		h.l2[b].Invalidate(line)
 		e3.clear(b)
-	}
+	})
 	keepHad := e3.has(keep)
 	e3.presence = 0
 	if keepHad {
@@ -662,9 +645,9 @@ func (h *Hierarchy) recallL3Victim(victim *cache.Line) {
 	e3 := h.dirL3(victim.Tag)
 	words := victim.Words
 	dirty := victim.IsDirty()
-	for _, b := range e3.sharers() {
+	forEachSharerMask(e3.presence, func(b int) {
 		eb := h.dirL2(b, victim.Tag)
-		for _, s := range eb.sharers() {
+		forEachSharerMask(eb.presence, func(s int) {
 			core := b*h.m.CoresPerBlock + s
 			if l := h.l1[core].Peek(victim.Tag); l != nil {
 				if l.State == cache.Modified {
@@ -675,7 +658,7 @@ func (h *Hierarchy) recallL3Victim(victim *cache.Line) {
 				h.m.Mesh.Account(stats.Invalidation, 2*noc.CtrlFlits())
 				h.ctr.Inc("invalidations", 1)
 			}
-		}
+		})
 		if l2l := h.l2[b].Peek(victim.Tag); l2l != nil {
 			if l2l.IsDirty() {
 				words = l2l.Words
@@ -683,9 +666,9 @@ func (h *Hierarchy) recallL3Victim(victim *cache.Line) {
 			}
 			h.l2[b].Invalidate(victim.Tag)
 		}
-		delete(h.l2dir[b], victim.Tag)
-	}
-	delete(h.l3dir, victim.Tag)
+		h.l2dir[b].del(victim.Tag)
+	})
+	h.l3dir.del(victim.Tag)
 	if dirty {
 		h.backing.WriteLine(victim.Tag, &words, mem.FullMask)
 		h.m.Mesh.Account(stats.MemoryTraffic, noc.DataFlits(mem.LineBytes))

@@ -1,0 +1,49 @@
+package hic
+
+// Regression gate for the paged backing store: the whole-simulator output
+// must not depend on which mem.Memory implementation backs the hierarchy.
+// The intra-block sweep runs once on the paged store and once on the
+// retained map-based oracle store, and the canonical hic-results/v1
+// documents must be byte-identical. Any divergence — a footprint
+// miscount, a word read back differently, a latency perturbed by store
+// behavior — fails here with the first differing byte in view.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestPagedAndOracleStoresEmitIdenticalJSON(t *testing.T) {
+	run := func(oracle bool) []byte {
+		mem.UseOracleStore(oracle)
+		defer mem.UseOracleStore(false)
+		res, err := RunIntraBlockOpts(context.Background(), ScaleTest, RunOptions{Parallel: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return encodeDoc(t, res.Document(ScaleTest))
+	}
+	paged := run(false)
+	oracle := run(true)
+	if !bytes.Equal(paged, oracle) {
+		i := 0
+		for i < len(paged) && i < len(oracle) && paged[i] == oracle[i] {
+			i++
+		}
+		lo, hi := i-40, i+40
+		if lo < 0 {
+			lo = 0
+		}
+		clip := func(b []byte) string {
+			if hi > len(b) {
+				return string(b[lo:])
+			}
+			return string(b[lo:hi])
+		}
+		t.Errorf("paged and oracle store JSON diverge at byte %d:\npaged:  …%s…\noracle: …%s…",
+			i, clip(paged), clip(oracle))
+	}
+}
