@@ -6,11 +6,24 @@
 // Usage:
 //
 //	hicsim [-scale test|bench] [-parallel N] [-timeout D] [-json] [-timing] [-check]
-//	       [-cpuprofile F] [-memprofile F]
+//	       [-check-coherence] [-faults matrix|PLAN] [-cpuprofile F] [-memprofile F]
 //
 // Runs fan out across -parallel workers (default GOMAXPROCS); results are
 // identical to a serial sweep. -timeout bounds each individual run; a run
 // that exceeds it fails its own cell instead of hanging the sweep.
+//
+// -check-coherence attaches the shadow-memory coherence oracle to every
+// run: each load is checked against the happens-before-legal value set
+// and a violation fails the cell with a labeled coherence error.
+//
+// -faults runs the buggy-annotation robustness experiment instead of the
+// figures: "matrix" injects the canonical fault classes (dropped and
+// delayed writebacks, skipped invalidations, a lying IEB, an over-capped
+// MEB) into every intra-block application; any other argument is a fault
+// plan in the internal/faultinject grammar injected as-is. The detection
+// matrix is printed and the command exits nonzero only on harness
+// failures — detected violations are the experiment's successful
+// outcome.
 //
 // With -json the figures and per-run metrics are emitted as a single
 // machine-readable document on stdout (schema hic-results/v1) instead of
@@ -49,6 +62,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as a machine-readable JSON document on stdout")
 	timing := flag.Bool("timing", false, "include host wall times in -json output (not deterministic)")
 	check := flag.Bool("check", false, "verify the paper's expected orderings; exit nonzero on violation")
+	checkCoherence := flag.Bool("check-coherence", false, "attach the coherence oracle to every run")
+	faults := flag.String("faults", "", `run the buggy-annotation experiment: "matrix" or a fault plan`)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -84,8 +99,22 @@ func main() {
 	} else if *scale != "bench" {
 		log.Fatalf("unknown scale %q", *scale)
 	}
-	opts := hic.RunOptions{Parallel: *parallel, Timeout: *timeout}
+	opts := hic.RunOptions{Parallel: *parallel, Timeout: *timeout, CheckCoherence: *checkCoherence}
 	ctx := context.Background()
+
+	if *faults != "" {
+		if *faults != "matrix" {
+			opts.Faults = *faults
+		}
+		rep, err := hic.RunBuggyAnnotation(ctx, s, opts)
+		if rep != nil {
+			fmt.Print(rep.Render())
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *jsonOut || *check {
 		intra, intraErr := hic.RunIntraBlockOpts(ctx, s, opts)

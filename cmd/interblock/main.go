@@ -5,11 +5,14 @@
 // Usage:
 //
 //	interblock [-scale test|bench] [-counts] [-parallel N] [-timeout D] [-json] [-timing]
+//	           [-check-coherence]
 //
 // Runs fan out across -parallel workers (default GOMAXPROCS) with results
 // identical to a serial sweep; -timeout bounds each individual run. With
 // -json the result is a machine-readable document on stdout (canonical
-// unless -timing adds host wall times).
+// unless -timing adds host wall times). -check-coherence attaches the
+// shadow-memory coherence oracle to every run; a violation fails the
+// cell with a labeled coherence error.
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-run timeout (0 = none)")
 	jsonOut := flag.Bool("json", false, "emit results as a machine-readable JSON document on stdout")
 	timing := flag.Bool("timing", false, "include host wall times in -json output (not deterministic)")
+	checkCoherence := flag.Bool("check-coherence", false, "attach the coherence oracle to every run")
 	flag.Parse()
 
 	s := hic.ScaleBench
@@ -41,7 +45,7 @@ func main() {
 		log.Fatalf("unknown scale %q", *scale)
 	}
 
-	opts := hic.RunOptions{Parallel: *parallel, Timeout: *timeout}
+	opts := hic.RunOptions{Parallel: *parallel, Timeout: *timeout, CheckCoherence: *checkCoherence}
 	res, err := hic.RunInterBlockOpts(context.Background(), s, opts)
 	if *jsonOut {
 		doc := res.Document(s)

@@ -1,0 +1,153 @@
+package hic
+
+// Robustness-layer tests at the experiment level: the full sweeps must
+// be violation-free under the coherence oracle (the annotation
+// discipline really is sufficient, checked read-by-read rather than
+// only against final memory), the buggy-annotation experiment must
+// detect every injected fault class somewhere in the suite with the
+// right violation class attributed, and a sweep under an unmeetably
+// tiny per-run timeout must terminate cleanly — no leaked goroutines,
+// and completed cells byte-identical to an untimed reference sweep.
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+)
+
+func TestSweepsAreCoherenceClean(t *testing.T) {
+	opts := DefaultRunOptions()
+	opts.CheckCoherence = true
+	intra, err := RunIntraBlockOpts(context.Background(), ScaleTest, opts)
+	if err != nil {
+		t.Fatalf("intra sweep under the oracle: %v", err)
+	}
+	inter, err := RunInterBlockOpts(context.Background(), ScaleTest, opts)
+	if err != nil {
+		t.Fatalf("inter sweep under the oracle: %v", err)
+	}
+	for _, r := range append(intra.Runs, inter.Runs...) {
+		if r.ErrorKind != "" {
+			t.Errorf("%s/%s: unexpected %s: %s", r.Workload, r.Config, r.ErrorKind, r.Error)
+		}
+	}
+}
+
+// wantViolationClass maps each injected fault class to the violation
+// class the oracle must attribute to it.
+var wantViolationClass = map[string]string{
+	"drop-wb":  "missing-wb",
+	"delay-wb": "missing-wb",
+	"skip-inv": "missing-inv",
+	"meb-cap":  "missing-wb",
+	"ieb-lie":  "missing-inv",
+}
+
+func TestBuggyAnnotationDetectsEveryFaultClass(t *testing.T) {
+	rep, err := RunBuggyAnnotation(context.Background(), ScaleTest, DefaultRunOptions())
+	if err != nil {
+		t.Fatalf("harness failure: %v", err)
+	}
+	detectedBy := map[string]int{}
+	for _, e := range rep.Entries {
+		if e.Detected {
+			detectedBy[e.Class]++
+			if e.Violations == 0 {
+				t.Errorf("%s/%s: detected without recorded violations", e.Workload, e.Class)
+			}
+			if e.Kind != "coherence" {
+				t.Errorf("%s/%s: detected with kind %q, want coherence", e.Workload, e.Class, e.Kind)
+			}
+			if want := wantViolationClass[e.Class]; want != "" && !strings.Contains(e.Error, want) {
+				t.Errorf("%s/%s: error lacks %q attribution:\n%s", e.Workload, e.Class, want, e.Error)
+			}
+		}
+	}
+	for class := range wantViolationClass {
+		if detectedBy[class] == 0 {
+			t.Errorf("fault class %s detected in no application", class)
+		}
+	}
+	// raytrace synchronizes with locks and flags, so no whole-cache
+	// invalidation masks its faults: it must detect all five classes.
+	for _, e := range rep.Entries {
+		if e.Workload == "raytrace" && !e.Detected {
+			t.Errorf("raytrace/%s: expected detection, got kind %q (%d injected)",
+				e.Class, e.Kind, e.Injected)
+		}
+	}
+	injected, detected := rep.Detection()
+	t.Logf("matrix: %d/%d injected faults detected", detected, injected)
+}
+
+// TestTinyTimeoutSweepTerminatesCleanly drives the intra sweep with a
+// per-run timeout most cells cannot meet. The sweep must terminate, the
+// workers' guest goroutines must all be reaped (cooperative preemption,
+// not abandonment), and every cell that did complete must produce a
+// record byte-identical to the untimed reference sweep's.
+func TestTinyTimeoutSweepTerminatesCleanly(t *testing.T) {
+	ref, err := RunIntraBlockOpts(context.Background(), ScaleTest, RunOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRec := map[string]runner.RunRecord{}
+	walls := make([]float64, 0, len(ref.Runs))
+	for _, r := range ref.Runs {
+		walls = append(walls, r.WallMS)
+		r.WallMS = 0
+		refRec[r.Workload+"/"+r.Config] = r
+	}
+	// A timeout at the reference sweep's median wall time lets roughly
+	// half the cells finish whatever the host speed, so both the
+	// completed-cell and the preempted-cell paths are exercised.
+	sort.Float64s(walls)
+	timeout := time.Duration(walls[len(walls)/2]*float64(time.Millisecond)) + time.Millisecond/2
+
+	before := runtime.NumGoroutine()
+	res, _ := RunIntraBlockOpts(context.Background(), ScaleTest,
+		RunOptions{Parallel: 4, Timeout: timeout})
+	if res == nil {
+		t.Fatal("partial result missing")
+	}
+	completed, timedOut := 0, 0
+	for _, r := range res.Runs {
+		switch r.ErrorKind {
+		case "":
+			completed++
+			r.WallMS = 0
+			got, _ := json.Marshal(r)
+			want, _ := json.Marshal(refRec[r.Workload+"/"+r.Config])
+			if string(got) != string(want) {
+				t.Errorf("%s/%s: completed record differs from reference:\n got %s\nwant %s",
+					r.Workload, r.Config, got, want)
+			}
+		case "timeout":
+			timedOut++
+		default:
+			t.Errorf("%s/%s: unexpected kind %q: %s", r.Workload, r.Config, r.ErrorKind, r.Error)
+		}
+	}
+	if completed+timedOut != len(res.Runs) || len(res.Runs) != len(ref.Runs) {
+		t.Errorf("records: %d completed + %d timed out of %d (reference %d)",
+			completed, timedOut, len(res.Runs), len(ref.Runs))
+	}
+	t.Logf("tiny-timeout sweep: %d completed, %d timed out", completed, timedOut)
+
+	// Preempted engines must reap their guest goroutines; poll because
+	// the last worker may still be unwinding when Run returns.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before sweep, %d after", before, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -6,12 +6,16 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/apps/jacobi"
 	"repro/internal/apps/nas"
 	"repro/internal/apps/splash"
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/isa"
+	"repro/internal/oracle"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
@@ -68,10 +72,65 @@ func InterWorkloads(s Scale) []*IRWorkload {
 	}
 }
 
-// RunOptions controls a sweep: worker count and per-run timeout (see
-// runner.Options). The zero value runs with GOMAXPROCS workers and no
-// timeout.
-type RunOptions = runner.Options
+// RunOptions controls a sweep: orchestration (worker count, per-run
+// timeout, transient-failure retries) plus the robustness checks
+// (coherence oracle, fault injection). The zero value runs with
+// GOMAXPROCS workers, no timeout, and no checks.
+type RunOptions struct {
+	// Parallel is the worker count; values <= 0 mean GOMAXPROCS.
+	Parallel int
+	// Timeout bounds each individual run; 0 means none. See
+	// runner.Options.
+	Timeout time.Duration
+	// Retries and RetryBackoff rerun cells whose failure is transient
+	// (timeouts). See runner.Options.
+	Retries      int
+	RetryBackoff time.Duration
+	// CheckCoherence attaches the shadow-memory coherence oracle
+	// (internal/oracle) to every run: each load is checked against the
+	// happens-before-legal value set, and a violation fails the cell
+	// with a coherence error.
+	CheckCoherence bool
+	// Faults is a deterministic fault plan in the internal/faultinject
+	// grammar ("drop-wb@0; meb-cap=1; seed=7"), injected into every
+	// incoherent-hierarchy run; HCC runs have no WB/INV to sabotage and
+	// are skipped. A non-empty plan implies the oracle, so injected
+	// faults are detected and attributed.
+	Faults string
+}
+
+// Workers returns the effective worker count for n tasks.
+func (o RunOptions) Workers(n int) int { return o.runner().Workers(n) }
+
+// runner converts the orchestration subset to runner.Options.
+func (o RunOptions) runner() runner.Options {
+	return runner.Options{
+		Parallel: o.Parallel, Timeout: o.Timeout,
+		Retries: o.Retries, RetryBackoff: o.RetryBackoff,
+	}
+}
+
+// checks builds the per-run fault state and oracle for a hierarchy,
+// per the options. Either may be nil.
+func (o RunOptions) checks(h engine.Hierarchy, threads int) (*oracle.Oracle, *faultinject.State, error) {
+	var st *faultinject.State
+	if o.Faults != "" {
+		plan, err := faultinject.Parse(o.Faults)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ch, ok := h.(*core.Hierarchy); ok && !plan.Empty() {
+			st = faultinject.NewState(plan)
+			ch.SetFaults(st)
+		}
+	}
+	if !o.CheckCoherence && st == nil {
+		return nil, nil, nil
+	}
+	orc := oracle.New(threads)
+	orc.SetFaults(st)
+	return orc, st, nil
+}
 
 // DefaultRunOptions fans runs out across GOMAXPROCS workers with no
 // per-run timeout. Results are identical to a serial sweep: every run is
@@ -98,9 +157,10 @@ type IntraResult struct {
 }
 
 // intraTasks builds one task per (application, configuration) pair. Each
-// task constructs its own workload instance and hierarchy so tasks are
-// fully independent and safe to run concurrently.
-func intraTasks(s Scale) []runner.Task {
+// task constructs its own workload instance, hierarchy, and (when opts
+// asks for them) fault state and oracle, so tasks are fully independent
+// and safe to run concurrently.
+func intraTasks(s Scale, opts RunOptions) []runner.Task {
 	var tasks []runner.Task
 	for i, w := range IntraWorkloads(s) {
 		for _, cfg := range IntraConfigs {
@@ -108,9 +168,14 @@ func intraTasks(s Scale) []runner.Task {
 			tasks = append(tasks, runner.Task{
 				Workload: w.Name,
 				Config:   cfg.Name,
-				Run: func(context.Context) (*runner.Outcome, error) {
+				Run: func(ctx context.Context) (*runner.Outcome, error) {
 					wl := IntraWorkloads(s)[i]
-					r, err := wl.Run(NewHierarchy(NewIntraMachine(), cfg), cfg)
+					h := NewHierarchy(NewIntraMachine(), cfg)
+					orc, _, err := opts.checks(h, wl.Threads)
+					if err != nil {
+						return nil, err
+					}
+					r, err := wl.RunChecked(ctx, h, cfg, orc)
 					if err != nil {
 						return nil, err
 					}
@@ -135,7 +200,7 @@ func RunIntraBlock(s Scale) (*IntraResult, error) {
 // their figure groups, and Runs records every cell including the failed
 // ones.
 func RunIntraBlockOpts(ctx context.Context, s Scale, opts RunOptions) (*IntraResult, error) {
-	grid := runner.Run(ctx, intraTasks(s), opts)
+	grid := runner.Run(ctx, intraTasks(s, opts), opts.runner())
 	res := &IntraResult{
 		Figure9:  &Figure{Title: "Figure 9: normalized execution time (intra-block)", Categories: []string{"inv", "wb", "lock", "barrier", "rest"}},
 		Figure10: &Figure{Title: "Figure 10: normalized traffic, HCC vs B+M+I (flits)", Categories: []string{"linefill", "writeback", "invalidation", "memory"}},
@@ -229,7 +294,7 @@ type InterResult struct {
 // interTasks builds one task per (application, mode) pair; global WB/INV
 // line-operation counts are captured into the outcome for the modes
 // Figure 11 compares.
-func interTasks(s Scale) []runner.Task {
+func interTasks(s Scale, opts RunOptions) []runner.Task {
 	var tasks []runner.Task
 	for i, w := range InterWorkloads(s) {
 		for _, mode := range InterModes {
@@ -237,10 +302,14 @@ func interTasks(s Scale) []runner.Task {
 			tasks = append(tasks, runner.Task{
 				Workload: w.Name,
 				Config:   mode.String(),
-				Run: func(context.Context) (*runner.Outcome, error) {
+				Run: func(ctx context.Context) (*runner.Outcome, error) {
 					wl := InterWorkloads(s)[i]
 					h := NewModeHierarchy(NewInterMachine(), mode)
-					r, err := wl.Run(h, mode)
+					orc, _, err := opts.checks(h, wl.Threads)
+					if err != nil {
+						return nil, err
+					}
+					r, err := wl.RunChecked(ctx, h, mode, orc)
 					if err != nil {
 						return nil, err
 					}
@@ -266,7 +335,7 @@ func RunInterBlock(s Scale) (*InterResult, error) {
 // RunInterBlockOpts is RunInterBlock under explicit orchestration
 // options; error semantics match RunIntraBlockOpts.
 func RunInterBlockOpts(ctx context.Context, s Scale, opts RunOptions) (*InterResult, error) {
-	grid := runner.Run(ctx, interTasks(s), opts)
+	grid := runner.Run(ctx, interTasks(s, opts), opts.runner())
 	res := &InterResult{
 		Figure11: &Figure{Title: "Figure 11: normalized global WB and INV counts", Categories: []string{"global-wb", "global-inv"}},
 		Figure12: &Figure{Title: "Figure 12: normalized execution time (inter-block)", Categories: []string{"cycles"}},
@@ -368,7 +437,7 @@ func PatternTable(s Scale) (string, error) {
 			},
 		})
 	}
-	grid := runner.Run(context.Background(), tasks, DefaultRunOptions())
+	grid := runner.Run(context.Background(), tasks, DefaultRunOptions().runner())
 	if err := grid.Err(); err != nil {
 		return "", err
 	}
@@ -403,9 +472,11 @@ func SyncCensus(r *Result) string {
 }
 
 // VerifyAll runs every workload at test scale under every configuration
-// and mode, under DefaultRunOptions, returning the labeled failures (a
-// full self-check of the reproduction).
+// and mode with the coherence oracle attached, returning the labeled
+// failures (a full self-check of the reproduction).
 func VerifyAll() error {
-	tasks := append(intraTasks(ScaleTest), interTasks(ScaleTest)...)
-	return runner.Run(context.Background(), tasks, DefaultRunOptions()).Err()
+	opts := DefaultRunOptions()
+	opts.CheckCoherence = true
+	tasks := append(intraTasks(ScaleTest, opts), interTasks(ScaleTest, opts)...)
+	return runner.Run(context.Background(), tasks, opts.runner()).Err()
 }

@@ -1,10 +1,13 @@
 package compiler
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/engine"
 	"repro/internal/mem"
+	"repro/internal/oracle"
 )
 
 // Reference executes prog sequentially over host arrays and returns the
@@ -67,13 +70,34 @@ type IRWorkload struct {
 // Run lowers the workload under mode, executes it on h, drains, and
 // verifies every array against the sequential reference.
 func (w *IRWorkload) Run(h engine.Hierarchy, mode Mode) (*engine.Result, error) {
-	res, err := engine.New(h, Lower(w.Prog, w.Threads, mode)).Run()
+	return w.RunChecked(context.Background(), h, mode, nil)
+}
+
+// RunChecked is Run with cooperative cancellation and an optional
+// coherence oracle observing the event stream; an oracle violation
+// becomes the run's primary error.
+func (w *IRWorkload) RunChecked(ctx context.Context, h engine.Hierarchy, mode Mode, orc *oracle.Oracle) (*engine.Result, error) {
+	e := engine.New(h, Lower(w.Prog, w.Threads, mode))
+	if orc != nil {
+		e.SetObserver(orc)
+	}
+	res, err := e.RunCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", w.Name, mode, err)
 	}
 	h.Drain()
-	if err := w.VerifyMemory(h.Memory()); err != nil {
-		return nil, fmt.Errorf("%s/%s: verification: %w", w.Name, mode, err)
+	var errs []error
+	if orc != nil {
+		orc.CheckFinal(h.Memory())
+		if cerr := orc.Err(); cerr != nil {
+			errs = append(errs, fmt.Errorf("%s/%s: %w", w.Name, mode, cerr))
+		}
+	}
+	if verr := w.VerifyMemory(h.Memory()); verr != nil {
+		errs = append(errs, fmt.Errorf("%s/%s: verification: %w", w.Name, mode, verr))
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

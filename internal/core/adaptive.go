@@ -27,7 +27,12 @@ func (h *Hierarchy) adaptiveLevel(core, peer int) isa.Level {
 func (h *Hierarchy) WBCons(core int, r mem.Range, cons int) int64 {
 	lvl := h.adaptiveLevel(core, cons)
 	h.ctr.Inc("wbcons."+lvl.String(), 1)
-	return h.WB(core, r, lvl)
+	// Consult the fault plan here, not in the internal impl, so one
+	// instruction advances the WB cursor exactly once.
+	if lat, sabotaged := h.wbFaultRange(core, r); sabotaged {
+		return lat
+	}
+	return h.wb(core, r, lvl)
 }
 
 // InvProd executes INV_PROD(r, prod): self-invalidate r so that the next
@@ -36,7 +41,10 @@ func (h *Hierarchy) WBCons(core int, r mem.Range, cons int) int64 {
 func (h *Hierarchy) InvProd(core int, r mem.Range, prod int) int64 {
 	lvl := h.adaptiveLevel(core, prod)
 	h.ctr.Inc("invprod."+lvl.String(), 1)
-	return h.INV(core, r, lvl)
+	if h.invFault() {
+		return 1
+	}
+	return h.inv(core, r, lvl)
 }
 
 // WBConsAll executes WB_CONS ALL(cons). When the consumer is in another
@@ -45,7 +53,10 @@ func (h *Hierarchy) InvProd(core int, r mem.Range, prod int) int64 {
 func (h *Hierarchy) WBConsAll(core, cons int) int64 {
 	lvl := h.adaptiveLevel(core, cons)
 	h.ctr.Inc("wbcons."+lvl.String(), 1)
-	return h.WBAll(core, false, lvl)
+	if lat, sabotaged := h.wbFaultAll(core); sabotaged {
+		return lat
+	}
+	return h.wbAll(core, false, lvl)
 }
 
 // InvProdAll executes INV_PROD ALL(prod). When the producer is in another
@@ -54,5 +65,8 @@ func (h *Hierarchy) WBConsAll(core, cons int) int64 {
 func (h *Hierarchy) InvProdAll(core, prod int) int64 {
 	lvl := h.adaptiveLevel(core, prod)
 	h.ctr.Inc("invprod."+lvl.String(), 1)
-	return h.INVAll(core, false, lvl)
+	if h.invFault() {
+		return 1
+	}
+	return h.invAll(core, false, lvl)
 }

@@ -66,6 +66,9 @@ func (b *MEB) Entries() []cache.FrameID { return b.entries }
 // Len returns the number of recorded frames.
 func (b *MEB) Len() int { return len(b.entries) }
 
+// Has reports whether frame f is already recorded.
+func (b *MEB) Has(f cache.FrameID) bool { return b.present[f] }
+
 // Clear empties the buffer; called when a WB ALL executes.
 func (b *MEB) Clear() {
 	b.entries = b.entries[:0]

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/faultinject"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/noc"
@@ -90,6 +91,12 @@ type Hierarchy struct {
 	// bloom holds the optional Bloom-signature machinery (nil when
 	// disabled).
 	bloom *bloomState
+
+	// fi is the optional fault-injection state (nil when no faults are
+	// injected); delayed holds dirty words parked by delay-wb faults,
+	// applied to backing memory only when Drain runs. See faults.go.
+	fi      *faultinject.State
+	delayed []parked
 
 	ctr *stats.Counters
 }
@@ -195,6 +202,12 @@ func (h *Hierarchy) Load(core int, a mem.Addr) (mem.Word, int64) {
 			// The word was written by this core in the past: not stale.
 			h.ctr.Inc("ieb.dirtyhit", 1)
 		default:
+			if h.fi != nil && h.fi.NextIEBLie() {
+				// Injected fault: the IEB claims the line was already
+				// refreshed this epoch; the stale copy survives.
+				h.ctr.Inc("fault.ieb.lie", 1)
+				break
+			}
 			if b.Insert(line) {
 				h.ctr.Inc("ieb.evictions", 1)
 			}
@@ -243,7 +256,13 @@ func (h *Hierarchy) Store(core int, a mem.Addr, v mem.Word) int64 {
 	}
 	if !l.Dirty.Has(i) {
 		if b := h.meb[core]; b != nil {
-			if b.Record(l1.FrameOf(a)) {
+			f := l1.FrameOf(a)
+			if h.fi != nil && h.fi.MEBOverCap(b.Len(), b.Has(f)) {
+				// Injected fault: an undersized MEB silently discards the
+				// record instead of entering the overflow state.
+				h.fi.NoteMEBLost(mem.LineAddr(a))
+				h.ctr.Inc("fault.meb.lost", 1)
+			} else if b.Record(f) {
 				h.ctr.Inc("meb.overflows", 1)
 			}
 		}
@@ -410,8 +429,10 @@ func (h *Hierarchy) EpochBoundary(core int) {
 
 // Drain flushes every dirty word in every cache to backing memory, without
 // timing or traffic, so tests can verify final program results. It leaves
-// clean copies in place.
+// clean copies in place. Words parked by delay-wb faults land first, so
+// data still cached (and later re-written) wins over the delayed copy.
 func (h *Hierarchy) Drain() {
+	h.applyDelayed()
 	for c, l1 := range h.l1 {
 		b := h.m.BlockOf(c)
 		l1.ForEachValid(func(_ cache.FrameID, l *cache.Line) {

@@ -34,6 +34,13 @@ func (h *Hierarchy) effLevel(lvl isa.Level) isa.Level {
 // III-B): to the block's L2 for LevelAuto, through to the L3 for
 // LevelGlobal. Lines are left clean valid. It returns the exposed latency.
 func (h *Hierarchy) WB(core int, r mem.Range, lvl isa.Level) int64 {
+	if lat, sabotaged := h.wbFaultRange(core, r); sabotaged {
+		return lat
+	}
+	return h.wb(core, r, lvl)
+}
+
+func (h *Hierarchy) wb(core int, r mem.Range, lvl isa.Level) int64 {
 	lvl = h.effLevel(lvl)
 	p := h.m.Params
 	var lat int64
@@ -133,6 +140,13 @@ func (h *Hierarchy) wbDrainRT(core int, line mem.Addr, lvl isa.Level) int64 {
 // LevelGlobal. Dirty data is first written back, so INV never loses
 // updates. It returns the exposed latency.
 func (h *Hierarchy) INV(core int, r mem.Range, lvl isa.Level) int64 {
+	if h.invFault() {
+		return 1
+	}
+	return h.inv(core, r, lvl)
+}
+
+func (h *Hierarchy) inv(core int, r mem.Range, lvl isa.Level) int64 {
 	lvl = h.effLevel(lvl)
 	p := h.m.Params
 	b := h.m.BlockOf(core)
@@ -183,6 +197,13 @@ func (h *Hierarchy) wbDirtyWordsOfInvalidated(b int, l *cache.Line, lvl isa.Leve
 // well (Section V-B's WB_CONS ALL behaviour, also used by the inter-block
 // Base configuration's "WB ALL to L3").
 func (h *Hierarchy) WBAll(core int, useMEB bool, lvl isa.Level) int64 {
+	if lat, sabotaged := h.wbFaultAll(core); sabotaged {
+		return lat
+	}
+	return h.wbAll(core, useMEB, lvl)
+}
+
+func (h *Hierarchy) wbAll(core int, useMEB bool, lvl isa.Level) int64 {
 	lvl = h.effLevel(lvl)
 	p := h.m.Params
 	l1 := h.l1[core]
@@ -192,6 +213,11 @@ func (h *Hierarchy) WBAll(core int, useMEB bool, lvl isa.Level) int64 {
 
 	if useMEB && meb != nil && meb.Valid() {
 		h.ctr.Inc("meb.served", 1)
+		if h.fi != nil {
+			// Lines a faulty MEB silently discarded are invisible to this
+			// entry scan: hand them to the oracle as misses.
+			h.fi.FlushMEBLost()
+		}
 		lat += int64(meb.Len()) * p.ScanPerFrame
 		for _, f := range meb.Entries() {
 			if l := l1.Frame(f); l.Valid && l.IsDirty() {
@@ -202,6 +228,11 @@ func (h *Hierarchy) WBAll(core int, useMEB bool, lvl isa.Level) int64 {
 	} else {
 		if useMEB && meb != nil {
 			h.ctr.Inc("meb.fallback", 1)
+		}
+		if h.fi != nil {
+			// The full traversal sees every dirty line, so discarded MEB
+			// records cost nothing here.
+			h.fi.ClearMEBLost()
 		}
 		lat += int64(l1.NumFrames()) * p.TraversalPerFrame
 		l1.ForEachValid(func(_ cache.FrameID, l *cache.Line) {
@@ -248,6 +279,13 @@ func (h *Hierarchy) WBAll(core int, useMEB bool, lvl isa.Level) int64 {
 // (INV_PROD ALL / inter-block Base's "INV ALL from L2"). Dirty data is
 // always written back before invalidation.
 func (h *Hierarchy) INVAll(core int, lazy bool, lvl isa.Level) int64 {
+	if h.invFault() {
+		return 1
+	}
+	return h.invAll(core, lazy, lvl)
+}
+
+func (h *Hierarchy) invAll(core int, lazy bool, lvl isa.Level) int64 {
 	lvl = h.effLevel(lvl)
 	p := h.m.Params
 	if lazy && lvl == isa.LevelAuto {

@@ -15,6 +15,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -111,6 +112,70 @@ type Proc interface {
 	FlagWait(id int, threshold int64)
 }
 
+// EventKind classifies an observer event.
+type EventKind int
+
+const (
+	// EvOp is a completed non-sync operation (its latency already
+	// charged; Value carries the load result for load kinds). Compute
+	// ops are not reported.
+	EvOp EventKind = iota
+	// EvSyncIssue is a synchronization op arriving at the controller,
+	// before any grant. For barriers this is the arrival.
+	EvSyncIssue
+	// EvSyncDone is a blocking synchronization op completing: an
+	// immediate or woken acquire/flag-wait grant, or a barrier release.
+	// Posted ops (release, flag set) act entirely at issue and get no
+	// done event.
+	EvSyncDone
+)
+
+// Event is one step of the deterministic execution, as seen by an
+// Observer. Events are emitted from the scheduler goroutine in execution
+// order.
+type Event struct {
+	Kind   EventKind
+	Thread int
+	Op     isa.Op
+	// Value is the result of a load (EvOp with a load kind).
+	Value mem.Word
+	// Time is the thread's local clock after the op (EvOp) or at
+	// issue/grant (sync events).
+	Time int64
+}
+
+// Observer receives the execution event stream. Calls are made serially
+// from the scheduler goroutine; the observer must not retain the Event.
+// The coherence oracle (internal/oracle) is the primary implementation.
+type Observer interface {
+	OnEvent(Event)
+}
+
+// DefaultNoProgressLimit is the livelock watchdog's default window: the
+// number of consecutive scheduler steps without a synchronization grant
+// or thread completion after which the run is declared livelocked. Spin
+// loops advance simulated time (they compute between probes), so time
+// cannot distinguish a livelock from a long quiet phase — grants can.
+// The default is generous enough that bench-scale sync-free compute
+// phases never trip it.
+const DefaultNoProgressLimit = 1 << 26
+
+// LivelockError reports a run aborted by the no-progress watchdog.
+type LivelockError struct {
+	// Steps is the size of the no-progress window that fired.
+	Steps int64
+	// Blocked lists the threads parked in the controller at abort time.
+	Blocked []int
+}
+
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf("engine: livelock: %d scheduler steps without a sync grant or thread completion (threads %v blocked)",
+		e.Steps, e.Blocked)
+}
+
+// ErrorKind labels the failure for the runner's error taxonomy.
+func (e *LivelockError) ErrorKind() string { return "livelock" }
+
 // Result is the outcome of a run.
 type Result struct {
 	// Cycles is the parallel execution time: the max over threads of
@@ -132,6 +197,16 @@ type Engine struct {
 	ctrl *hwsync.Controller
 	ts   []*thread
 	rq   runq
+	obs  Observer
+
+	// NoProgressLimit overrides the livelock watchdog window when
+	// positive (see DefaultNoProgressLimit). Set it before Run.
+	NoProgressLimit int64
+
+	// progressed is set whenever a sync grant is delivered or a thread
+	// completes; the watchdog clears it each step.
+	progressed bool
+	stopped    bool
 }
 
 type thread struct {
@@ -146,6 +221,10 @@ type thread struct {
 	blockAt int64           // time the blocking request was issued
 	blockAs stats.StallKind // category charged for the wait
 	err     error
+	// poisoned tells the guest (which observes it only after receiving a
+	// response, so the channel ordering makes the write visible) to
+	// unwind instead of issuing more ops; see Engine.shutdown.
+	poisoned bool
 }
 
 type tstate int
@@ -171,10 +250,32 @@ func New(h Hierarchy, guests []Guest) *Engine {
 	return e
 }
 
+// SetObserver installs the execution event observer (nil to disable).
+// Call before Run; the observer adds one call per op to the hot loop, so
+// it is off by default.
+func (e *Engine) SetObserver(o Observer) { e.obs = o }
+
 // Run executes all guests to completion and returns the run result. It is
 // deterministic: identical guests over an identical hierarchy produce an
 // identical result.
 func (e *Engine) Run() (*Result, error) {
+	return e.RunCtx(context.Background())
+}
+
+// ctxPollMask sets how often the step loop polls ctx: every 256 steps
+// keeps cancellation latency in the microseconds without measurably
+// slowing the hot loop.
+const ctxPollMask = 255
+
+// RunCtx is Run with cooperative preemption: the step loop polls ctx and
+// aborts the run when it is canceled, unwinding every guest goroutine
+// before returning (no goroutines outlive RunCtx, whatever the exit
+// path). A no-progress watchdog likewise aborts runs that stop granting
+// synchronization while still burning steps — the livelock shape (e.g. a
+// spin loop whose flag store was lost) that the deadlock check cannot
+// see. Simulation results are identical to Run's; cancellation and the
+// watchdog only decide whether the run completes.
+func (e *Engine) RunCtx(ctx context.Context) (*Result, error) {
 	for _, t := range e.ts {
 		go runGuest(t, len(e.ts))
 	}
@@ -183,15 +284,41 @@ func (e *Engine) Run() (*Result, error) {
 		e.recvNext(t)
 	}
 	res := &Result{PerThread: make([]stats.Stalls, len(e.ts))}
+	limit := e.NoProgressLimit
+	if limit <= 0 {
+		limit = DefaultNoProgressLimit
+	}
+	done := ctx.Done()
+	var steps, idle int64
 	for {
+		if done != nil && steps&ctxPollMask == 0 {
+			select {
+			case <-done:
+				e.shutdown()
+				return nil, fmt.Errorf("engine: run canceled: %w", ctx.Err())
+			default:
+			}
+		}
+		steps++
 		t := e.pickRunnable()
 		if t == nil {
 			if e.allDone() {
 				break
 			}
-			return nil, e.deadlockError()
+			err := e.deadlockError()
+			e.shutdown()
+			return nil, err
 		}
 		if err := e.step(t, res); err != nil {
+			e.shutdown()
+			return nil, err
+		}
+		if e.progressed {
+			e.progressed = false
+			idle = 0
+		} else if idle++; idle >= limit {
+			err := &LivelockError{Steps: idle, Blocked: e.blockedIDs()}
+			e.shutdown()
 			return nil, err
 		}
 	}
@@ -207,6 +334,42 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	res.Traffic = e.h.Traffic()
 	return res, nil
+}
+
+// shutdown unwinds every live guest goroutine. Outside the rendezvous
+// protocol a guest is always at (or headed for) its response receive, so
+// poisoning the thread and completing the response makes the guest's
+// next do() panic with a sentinel that runGuest swallows; draining the
+// request channel then waits for the guest's deferred close. After
+// shutdown no engine goroutines remain.
+func (e *Engine) shutdown() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	for _, t := range e.ts {
+		if t.state == done {
+			continue
+		}
+		t.poisoned = true
+		t.resp <- 0
+		for range t.req {
+		}
+		t.state = done
+	}
+}
+
+// blockedIDs lists the threads parked in the controller, for error
+// reports.
+func (e *Engine) blockedIDs() []int {
+	var ids []int
+	for _, t := range e.ts {
+		if t.state == blocked {
+			ids = append(ids, t.id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // pickRunnable returns the ready thread with minimum time (ties: lowest
@@ -308,6 +471,9 @@ func (e *Engine) step(t *thread, res *Result) error {
 	t.time += cpi + lat
 	t.stalls.Add(stats.Busy, cpi)
 	t.stalls.Add(kind, lat)
+	if e.obs != nil {
+		e.obs.OnEvent(Event{Kind: EvOp, Thread: t.id, Op: op, Value: val, Time: t.time})
+	}
 	e.reply(t, val)
 	return nil
 }
@@ -315,6 +481,9 @@ func (e *Engine) step(t *thread, res *Result) error {
 // stepSync executes a synchronization op, blocking the thread when the
 // controller cannot grant immediately.
 func (e *Engine) stepSync(t *thread, op isa.Op) error {
+	if e.obs != nil {
+		e.obs.OnEvent(Event{Kind: EvSyncIssue, Thread: t.id, Op: op, Time: t.time})
+	}
 	switch op.Kind {
 	case isa.OpAcquire:
 		at, ok := e.ctrl.Acquire(t.id, op.ID, t.time)
@@ -326,6 +495,7 @@ func (e *Engine) stepSync(t *thread, op isa.Op) error {
 		}
 		t.stalls.Add(stats.LockStall, at-t.time)
 		t.time = at
+		e.granted(t, op, at)
 		e.reply(t, 0)
 	case isa.OpRelease:
 		// Posted: the releaser does not wait for the controller.
@@ -365,11 +535,21 @@ func (e *Engine) stepSync(t *thread, op isa.Op) error {
 		}
 		t.stalls.Add(stats.FlagStall, at-t.time)
 		t.time = at
+		e.granted(t, op, at)
 		e.reply(t, 0)
 	default:
 		return fmt.Errorf("engine: thread %d issued unknown sync op %v", t.id, op)
 	}
 	return nil
+}
+
+// granted records an immediately-granted blocking sync op: watchdog
+// progress plus the observer's done event.
+func (e *Engine) granted(t *thread, op isa.Op, at int64) {
+	e.progressed = true
+	if e.obs != nil {
+		e.obs.OnEvent(Event{Kind: EvSyncDone, Thread: t.id, Op: op, Time: at})
+	}
 }
 
 // wake unblocks a thread granted by the controller.
@@ -385,6 +565,9 @@ func (e *Engine) wake(g hwsync.Grant) {
 	t.stalls.Add(t.blockAs, wait)
 	t.time = g.At
 	t.state = ready
+	// t.next still holds the blocking sync op here: recvNext runs only
+	// inside the reply below.
+	e.granted(t, t.next, g.At)
 	e.reply(t, 0)
 }
 
@@ -401,6 +584,7 @@ func (e *Engine) recvNext(t *thread) {
 	op, ok := <-t.req
 	if !ok {
 		t.state = done
+		e.progressed = true
 		return
 	}
 	t.next = op
@@ -408,11 +592,19 @@ func (e *Engine) recvNext(t *thread) {
 	e.rq.push(t)
 }
 
+// stopSentinel is the panic value do() raises when the engine poisons a
+// thread during shutdown; runGuest swallows it so preemption is not
+// reported as a guest failure.
+type stopSentinel struct{}
+
 // runGuest runs one guest with panic capture.
 func runGuest(t *thread, n int) {
 	defer close(t.req)
 	defer func() {
 		if r := recover(); r != nil {
+			if _, stopped := r.(stopSentinel); stopped {
+				return
+			}
 			t.err = fmt.Errorf("guest panic: %v", r)
 		}
 	}()
@@ -427,7 +619,11 @@ type proc struct {
 
 func (p *proc) do(op isa.Op) mem.Word {
 	p.t.req <- op
-	return <-p.t.resp
+	v := <-p.t.resp
+	if p.t.poisoned {
+		panic(stopSentinel{})
+	}
+	return v
 }
 
 func (p *proc) ID() int         { return p.t.id }

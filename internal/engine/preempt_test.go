@@ -1,0 +1,257 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// goroutines samples the goroutine count after letting unwinding guests
+// settle.
+func goroutines() int {
+	for i := 0; i < 50; i++ {
+		runtime.Gosched()
+	}
+	time.Sleep(time.Millisecond)
+	return runtime.NumGoroutine()
+}
+
+// leakCheck asserts the goroutine count returned (roughly) to base.
+func leakCheck(t *testing.T, base int) {
+	t.Helper()
+	var n int
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if n = goroutines(); n <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutine count %d did not return to %d: engine leaked guests", n, base)
+}
+
+func TestRunCtxCancelStopsGuests(t *testing.T) {
+	base := goroutines()
+	h := incoherent16()
+	// Guests that would run for a very long time.
+	guests := make([]Guest, 4)
+	for i := range guests {
+		guests[i] = func(p Proc) {
+			a := mem.Addr(0x1000 + p.ID()*64)
+			for j := 0; j < 1<<30; j++ {
+				p.Store(a, mem.Word(j))
+				p.Load(a)
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := New(h, guests)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.RunCtx(ctx)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+		if err == nil || !strings.Contains(err.Error(), "canceled") {
+			t.Errorf("err = %v, want a canceled message", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunCtx did not return after cancel")
+	}
+	leakCheck(t, base)
+}
+
+func TestRunCtxAlreadyCanceled(t *testing.T) {
+	base := goroutines()
+	h := incoherent16()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := New(h, []Guest{func(p Proc) { p.Compute(1) }}).RunCtx(ctx)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	leakCheck(t, base)
+}
+
+func TestLivelockWatchdog(t *testing.T) {
+	base := goroutines()
+	h := incoherent16()
+	flag := mem.Addr(0x2000)
+	guests := []Guest{
+		// Spins forever on a flag word nobody ever sets: no sync grants,
+		// unbounded steps — the livelock shape. (The spin advances
+		// simulated time via loads, so a time-based watchdog would never
+		// fire.)
+		func(p Proc) {
+			for p.Load(flag) == 0 {
+				p.INV(mem.WordRange(flag, 1))
+			}
+		},
+	}
+	e := New(h, guests)
+	e.NoProgressLimit = 10_000
+	_, err := e.Run()
+	var ll *LivelockError
+	if !errors.As(err, &ll) {
+		t.Fatalf("err = %v, want LivelockError", err)
+	}
+	if ll.ErrorKind() != "livelock" {
+		t.Errorf("ErrorKind = %q, want livelock", ll.ErrorKind())
+	}
+	if ll.Steps < 10_000 {
+		t.Errorf("Steps = %d, want >= limit", ll.Steps)
+	}
+	leakCheck(t, base)
+}
+
+func TestWatchdogSparesSyncingRuns(t *testing.T) {
+	h := incoherent16()
+	// Heavy flag-wait ping-pong: every round trip delivers grants, so
+	// even a tiny window must not trip.
+	guests := []Guest{
+		func(p Proc) {
+			for i := 1; i <= 200; i++ {
+				p.FlagSet(0, int64(i))
+				p.FlagWait(1, int64(i))
+			}
+		},
+		func(p Proc) {
+			for i := 1; i <= 200; i++ {
+				p.FlagWait(0, int64(i))
+				p.FlagSet(1, int64(i))
+			}
+		},
+	}
+	e := New(h, guests)
+	e.NoProgressLimit = 50
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("syncing run tripped the watchdog: %v", err)
+	}
+}
+
+func TestDeadlockDoesNotLeakGuests(t *testing.T) {
+	base := goroutines()
+	h := incoherent16()
+	guests := []Guest{
+		func(p Proc) { p.Acquire(0); p.Acquire(1); p.Release(1); p.Release(0) },
+		func(p Proc) { p.Acquire(1); p.Compute(1000); p.Acquire(0) },
+	}
+	_, err := New(h, guests).Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+	leakCheck(t, base)
+}
+
+// observerLog records the event stream for assertions.
+type observerLog struct {
+	events []Event
+}
+
+func (o *observerLog) OnEvent(ev Event) { o.events = append(o.events, ev) }
+
+func TestObserverEventStream(t *testing.T) {
+	h := incoherent16()
+	a := mem.Addr(0x3000)
+	guests := []Guest{
+		func(p Proc) { p.Store(a, 7); p.FlagSet(0, 1); p.Barrier(9) },
+		func(p Proc) { p.FlagWait(0, 1); _ = p.Load(a); p.Barrier(9) },
+	}
+	e := New(h, guests)
+	log := &observerLog{}
+	e.SetObserver(log)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		kind   EventKind
+		thread int
+		op     isa.OpKind
+	}
+	seen := make(map[key]int)
+	for _, ev := range log.events {
+		seen[key{ev.Kind, ev.Thread, ev.Op.Kind}]++
+	}
+	want := []key{
+		{EvOp, 0, isa.OpStore},
+		{EvOp, 1, isa.OpLoad}, // the load reaches the hierarchy (value may be stale: no INV)
+		{EvSyncIssue, 0, isa.OpFlagSet},
+		{EvSyncIssue, 1, isa.OpFlagWait},
+		{EvSyncDone, 1, isa.OpFlagWait},
+		{EvSyncIssue, 0, isa.OpBarrier},
+		{EvSyncIssue, 1, isa.OpBarrier},
+		{EvSyncDone, 0, isa.OpBarrier},
+		{EvSyncDone, 1, isa.OpBarrier},
+	}
+	for _, k := range want {
+		if seen[k] == 0 {
+			t.Errorf("missing event kind=%d thread=%d op=%v", k.kind, k.thread, k.op)
+		}
+	}
+	// Issue precedes done for the barrier of thread 0 (the last arrival
+	// wakes itself through the same path as everyone else).
+	var issueAt, doneAt = -1, -1
+	for i, ev := range log.events {
+		if ev.Thread == 0 && ev.Op.Kind == isa.OpBarrier {
+			if ev.Kind == EvSyncIssue {
+				issueAt = i
+			}
+			if ev.Kind == EvSyncDone {
+				doneAt = i
+			}
+		}
+	}
+	if issueAt == -1 || doneAt == -1 || issueAt >= doneAt {
+		t.Errorf("barrier issue (%d) must precede done (%d)", issueAt, doneAt)
+	}
+	// FlagSet is posted: no done event.
+	if n := seen[key{EvSyncDone, 0, isa.OpFlagSet}]; n != 0 {
+		t.Errorf("posted FlagSet got %d done events, want 0", n)
+	}
+	// Load events carry the loaded value.
+	for _, ev := range log.events {
+		if ev.Kind == EvOp && ev.Op.Kind == isa.OpLoad && ev.Op.Addr == a {
+			if ev.Value != 7 && ev.Value != 0 {
+				t.Errorf("load event value = %d, want 7 (or stale 0)", ev.Value)
+			}
+		}
+	}
+}
+
+func TestRunCtxMatchesRun(t *testing.T) {
+	run := func(viaCtx bool) *Result {
+		h := incoherent16()
+		guests := []Guest{
+			func(p Proc) { p.Store(0x100, 1); p.WBAll(); p.Barrier(0); p.Compute(10) },
+			func(p Proc) { p.Barrier(0); p.INVAll(); _ = p.Load(0x100) },
+		}
+		e := New(h, guests)
+		var res *Result
+		var err error
+		if viaCtx {
+			res, err = e.RunCtx(context.Background())
+		} else {
+			res, err = e.Run()
+		}
+		if err != nil {
+			panic(err)
+		}
+		return res
+	}
+	a, b := run(false), run(true)
+	if a.Cycles != b.Cycles || a.Stalls != b.Stalls {
+		t.Errorf("RunCtx result differs from Run: %+v vs %+v", a, b)
+	}
+}

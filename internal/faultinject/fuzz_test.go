@@ -1,0 +1,38 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultPlan checks the parser's two contracts on arbitrary input: it
+// never panics, and every accepted plan is canonical — String round-trips
+// through Parse to an identical plan and an identical string.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add("")
+	f.Add("drop-wb@0")
+	f.Add("drop-wb@3; skip-inv@1; meb-cap=2; seed=7")
+	f.Add("delay-wb@rand; ieb-lie@rand; seed=99")
+	f.Add("seed=18446744073709551615")
+	f.Add(" drop-wb@1 ;; meb-cap=16 ")
+	f.Add("drop-wb@rand")
+	f.Add("meb-cap=-1")
+	f.Add("drop-wb@99999999999999999999")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		out := p.String()
+		p2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("String %q of accepted plan does not reparse: %v", out, err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip changed the plan: %+v -> %q -> %+v", p, out, p2)
+		}
+		if out2 := p2.String(); out2 != out {
+			t.Fatalf("String not canonical: %q -> %q", out, out2)
+		}
+	})
+}

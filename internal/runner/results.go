@@ -76,8 +76,14 @@ type RunRecord struct {
 	// WallMS is the host wall-clock time of the run in milliseconds. It
 	// is the only nondeterministic field and is stripped by Encode.
 	WallMS float64 `json:"wall_ms,omitempty"`
-	// Error is the cell's failure, if any.
-	Error string `json:"error,omitempty"`
+	// Error is the cell's failure, if any; ErrorKind classifies it
+	// (panic, timeout, livelock, coherence, nil-outcome, canceled,
+	// error).
+	Error     string `json:"error,omitempty"`
+	ErrorKind string `json:"error_kind,omitempty"`
+	// Attempts is emitted only when transient-failure retries reran the
+	// cell (values > 1).
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // FigureJSON converts a stats.Figure under the given identifier.
@@ -115,6 +121,10 @@ func (g *Grid) Records() []RunRecord {
 		}
 		if c.Err != nil {
 			rec.Error = c.Err.Error()
+			rec.ErrorKind = ErrorKind(c.Err)
+		}
+		if c.Attempts > 1 {
+			rec.Attempts = c.Attempts
 		}
 		if c.Outcome != nil {
 			rec.GlobalWB, rec.GlobalINV = c.Outcome.GlobalWB, c.Outcome.GlobalINV

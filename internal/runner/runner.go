@@ -13,7 +13,11 @@
 //
 // Each run is wrapped with a per-run timeout and panic capture: a wedged
 // or crashing guest fails its own cell with a labeled error instead of
-// taking down (or hanging) the whole sweep.
+// taking down (or hanging) the whole sweep. Failures carry a small error
+// taxonomy (ErrorKind: panic, timeout, livelock, coherence, nil-outcome,
+// canceled) that flows into the JSON records, and failures marked
+// transient (currently timeouts, which depend on host load) can be
+// retried with exponential backoff.
 package runner
 
 import (
@@ -34,11 +38,19 @@ type Options struct {
 	// Parallel == 1 runs the tasks serially in task order.
 	Parallel int
 	// Timeout bounds each individual run; 0 means no per-run timeout.
-	// A run that exceeds it fails its cell with a timeout error. The
-	// engine is not preemptible, so the abandoned run's goroutines keep
-	// executing until the guest finishes or deadlocks; the sweep itself
-	// proceeds.
+	// A run that exceeds it fails its cell with a TimeoutError. The
+	// engine observes cancellation cooperatively (engine.RunCtx) and
+	// stops its guest goroutines, so a timed-out cell releases its worker
+	// without leaking; only a body wedged outside the engine step loop is
+	// abandoned, after a grace period.
 	Timeout time.Duration
+	// Retries is how many times a cell whose failure is transient
+	// (currently timeouts) is rerun before the failure sticks. 0 means
+	// no retries.
+	Retries int
+	// RetryBackoff is the sleep before the first retry; it doubles on
+	// each subsequent one. 0 means retry immediately.
+	RetryBackoff time.Duration
 }
 
 // Workers returns the effective worker count for n tasks.
@@ -86,8 +98,12 @@ type Cell struct {
 	// Err is the run's failure, labeled with the cell's workload and
 	// config (timeouts and panics included).
 	Err error
-	// Wall is the host wall-clock duration of the run.
+	// Wall is the host wall-clock duration of the run, across all
+	// attempts.
 	Wall time.Duration
+	// Attempts is how many times the cell ran (1 unless transient
+	// failures were retried).
+	Attempts int
 }
 
 // PanicError is a guest panic captured by the orchestrator.
@@ -104,6 +120,9 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("%s/%s: panic: %v", e.Workload, e.Config, e.Value)
 }
 
+// ErrorKind labels the failure for the error taxonomy.
+func (e *PanicError) ErrorKind() string { return "panic" }
+
 // TimeoutError reports a run that exceeded the per-run timeout.
 type TimeoutError struct {
 	// Workload and Config label the run that timed out.
@@ -114,6 +133,56 @@ type TimeoutError struct {
 
 func (e *TimeoutError) Error() string {
 	return fmt.Sprintf("%s/%s: run exceeded timeout %s", e.Workload, e.Config, e.Timeout)
+}
+
+// ErrorKind labels the failure for the error taxonomy.
+func (e *TimeoutError) ErrorKind() string { return "timeout" }
+
+// Transient marks timeouts as retryable: the simulator is deterministic,
+// but its wall-clock budget is not — a loaded host can push a healthy
+// run past the limit.
+func (e *TimeoutError) Transient() bool { return true }
+
+// NilOutcomeError reports a task body that returned neither an outcome
+// nor an error — a bug in the task, surfaced instead of recorded as a
+// silently-empty success.
+type NilOutcomeError struct {
+	// Workload and Config label the broken task.
+	Workload, Config string
+}
+
+func (e *NilOutcomeError) Error() string {
+	return fmt.Sprintf("%s/%s: task returned neither outcome nor error", e.Workload, e.Config)
+}
+
+// ErrorKind labels the failure for the error taxonomy.
+func (e *NilOutcomeError) ErrorKind() string { return "nil-outcome" }
+
+// ErrorKind classifies a cell failure for reporting: the error's own
+// kind when it declares one (panic, timeout, livelock, coherence,
+// nil-outcome), else a context-derived fallback, else "error". A nil
+// error yields "".
+func ErrorKind(err error) string {
+	if err == nil {
+		return ""
+	}
+	var k interface{ ErrorKind() string }
+	if errors.As(err, &k) {
+		return k.ErrorKind()
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "timeout"
+	}
+	if errors.Is(err, context.Canceled) {
+		return "canceled"
+	}
+	return "error"
+}
+
+// transient reports whether a failure declares itself retryable.
+func transient(err error) bool {
+	var tr interface{ Transient() bool }
+	return errors.As(err, &tr) && tr.Transient()
 }
 
 // Grid holds a completed sweep: every cell in task order, addressable by
@@ -136,7 +205,7 @@ func Run(ctx context.Context, tasks []Task, opts Options) *Grid {
 	workers := opts.Workers(len(tasks))
 	if workers == 1 {
 		for i := range tasks {
-			g.cells[i] = runOne(ctx, tasks[i], opts.Timeout)
+			g.cells[i] = runOne(ctx, tasks[i], opts)
 		}
 		return g
 	}
@@ -147,7 +216,7 @@ func Run(ctx context.Context, tasks []Task, opts Options) *Grid {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				g.cells[i] = runOne(ctx, tasks[i], opts.Timeout)
+				g.cells[i] = runOne(ctx, tasks[i], opts)
 			}
 		}()
 	}
@@ -159,11 +228,36 @@ func Run(ctx context.Context, tasks []Task, opts Options) *Grid {
 	return g
 }
 
-// runOne executes a single task with timeout and panic capture. The task
-// body runs in its own goroutine; on timeout the body is abandoned (the
-// engine cannot be preempted) and the cell fails with a TimeoutError.
-func runOne(parent context.Context, t Task, timeout time.Duration) Cell {
+// bodyGrace is how long a canceled run's body gets to observe the
+// cancellation and return before it is abandoned. The engine polls its
+// context in the step loop, so a simulating body returns well within
+// this; only a body wedged outside the engine can exhaust it.
+const bodyGrace = 2 * time.Second
+
+// runOne executes a single task with timeout, panic capture, and bounded
+// retry of transient failures.
+func runOne(parent context.Context, t Task, opts Options) Cell {
 	cell := Cell{Workload: t.Workload, Config: t.Config}
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		cell.Attempts = attempt + 1
+		cell.Outcome, cell.Err = runAttempt(parent, t, opts.Timeout)
+		if cell.Err == nil || attempt >= opts.Retries || !transient(cell.Err) || parent.Err() != nil {
+			break
+		}
+		if opts.RetryBackoff > 0 {
+			select {
+			case <-time.After(opts.RetryBackoff << attempt):
+			case <-parent.Done():
+			}
+		}
+	}
+	cell.Wall = time.Since(start)
+	return cell
+}
+
+// runAttempt is one execution of the task body.
+func runAttempt(parent context.Context, t Task, timeout time.Duration) (*Outcome, error) {
 	ctx := parent
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -174,8 +268,25 @@ func runOne(parent context.Context, t Task, timeout time.Duration) Cell {
 		out *Outcome
 		err error
 	}
+	// finish maps a returned body outcome to the cell's result: nil+nil
+	// is a task bug, and errors caused by our own cancellation collapse
+	// to the timeout/canceled taxonomy.
+	finish := func(o outcome) (*Outcome, error) {
+		if o.err != nil {
+			if timeout > 0 && errors.Is(o.err, context.DeadlineExceeded) {
+				return nil, &TimeoutError{Workload: t.Workload, Config: t.Config, Timeout: timeout}
+			}
+			if errors.Is(o.err, context.Canceled) && parent.Err() != nil {
+				return nil, fmt.Errorf("%s/%s: sweep canceled: %w", t.Workload, t.Config, context.Canceled)
+			}
+			return nil, o.err
+		}
+		if o.out == nil {
+			return nil, &NilOutcomeError{Workload: t.Workload, Config: t.Config}
+		}
+		return o.out, nil
+	}
 	ch := make(chan outcome, 1)
-	start := time.Now()
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {
@@ -190,16 +301,24 @@ func runOne(parent context.Context, t Task, timeout time.Duration) Cell {
 	}()
 	select {
 	case o := <-ch:
-		cell.Outcome, cell.Err = o.out, o.err
+		return finish(o)
 	case <-ctx.Done():
-		if timeout > 0 && errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			cell.Err = &TimeoutError{Workload: t.Workload, Config: t.Config, Timeout: timeout}
-		} else {
-			cell.Err = fmt.Errorf("%s/%s: sweep canceled: %w", t.Workload, t.Config, ctx.Err())
+		// Give the body a grace period to observe the cancellation: the
+		// engine stops its guests and returns, so the worker is not
+		// leaked. A body that finished successfully in the race keeps its
+		// success.
+		timer := time.NewTimer(bodyGrace)
+		defer timer.Stop()
+		select {
+		case o := <-ch:
+			return finish(o)
+		case <-timer.C:
 		}
+		if timeout > 0 && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, &TimeoutError{Workload: t.Workload, Config: t.Config, Timeout: timeout}
+		}
+		return nil, fmt.Errorf("%s/%s: sweep canceled: %w", t.Workload, t.Config, ctx.Err())
 	}
-	cell.Wall = time.Since(start)
-	return cell
 }
 
 // Cells returns every cell in task order.

@@ -8,11 +8,14 @@
 package workload
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/annotate"
 	"repro/internal/engine"
 	"repro/internal/mem"
+	"repro/internal/oracle"
 )
 
 // Workload is one runnable application instance (problem size and address
@@ -41,13 +44,36 @@ func (w *Workload) Guests(cfg annotate.Config) []engine.Guest {
 // Run executes the workload on hierarchy h under cfg, drains, verifies,
 // and returns the engine result.
 func (w *Workload) Run(h engine.Hierarchy, cfg annotate.Config) (*engine.Result, error) {
-	res, err := engine.New(h, w.Guests(cfg)).Run()
+	return w.RunChecked(context.Background(), h, cfg, nil)
+}
+
+// RunChecked is Run with cooperative cancellation and an optional
+// coherence oracle: when orc is non-nil it observes the run's event
+// stream, checks the final memory image after the drain, and any
+// violation it found becomes the run's primary error (verification still
+// runs and its failure is joined in).
+func (w *Workload) RunChecked(ctx context.Context, h engine.Hierarchy, cfg annotate.Config, orc *oracle.Oracle) (*engine.Result, error) {
+	e := engine.New(h, w.Guests(cfg))
+	if orc != nil {
+		e.SetObserver(orc)
+	}
+	res, err := e.RunCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", w.Name, cfg.Name, err)
 	}
 	h.Drain()
-	if err := w.Verify(h.Memory()); err != nil {
-		return nil, fmt.Errorf("%s/%s: verification: %w", w.Name, cfg.Name, err)
+	var errs []error
+	if orc != nil {
+		orc.CheckFinal(h.Memory())
+		if cerr := orc.Err(); cerr != nil {
+			errs = append(errs, fmt.Errorf("%s/%s: %w", w.Name, cfg.Name, cerr))
+		}
+	}
+	if verr := w.Verify(h.Memory()); verr != nil {
+		errs = append(errs, fmt.Errorf("%s/%s: verification: %w", w.Name, cfg.Name, verr))
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
