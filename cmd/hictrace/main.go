@@ -5,11 +5,17 @@
 // Usage:
 //
 //	hictrace record -app fft -config B+M+I -dir /tmp/traces
-//	hictrace replay -config Base -dir /tmp/traces -threads 16
+//	hictrace replay -config Base -dir /tmp/traces -threads 16 [-json]
 //	hictrace dump -file /tmp/traces/t0.trace [-n 50]
+//
+// With -json, replay emits its timing as a machine-readable document
+// (schema hic-replay/v1) on stdout. The document carries simulated
+// cycles only — no host times — so two replays of the same traces are
+// byte-identical.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -103,6 +109,7 @@ func replay(args []string) {
 	config := fs.String("config", "B+M+I", "configuration to replay under")
 	dir := fs.String("dir", ".", "trace directory")
 	threads := fs.Int("threads", 16, "thread count of the recording")
+	jsonOut := fs.Bool("json", false, "emit replay timing as a deterministic JSON document")
 	fs.Parse(args)
 
 	cfg := configByName(*config)
@@ -125,6 +132,25 @@ func replay(args []string) {
 		log.Fatal(err)
 	}
 	inv, wb, lock, barrier, rest := res.Stalls.Figure9()
+	if *jsonOut {
+		doc := struct {
+			Schema  string `json:"schema"`
+			Config  string `json:"config"`
+			Threads int    `json:"threads"`
+			Cycles  int64  `json:"cycles"`
+			Inv     int64  `json:"inv_stall"`
+			WB      int64  `json:"wb_stall"`
+			Lock    int64  `json:"lock_stall"`
+			Barrier int64  `json:"barrier_stall"`
+			Rest    int64  `json:"rest"`
+		}{"hic-replay/v1", cfg.Name, *threads, res.Cycles, inv, wb, lock, barrier, rest}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	fmt.Printf("replayed under %s: %d cycles (inv=%d wb=%d lock=%d barrier=%d rest=%d)\n",
 		cfg.Name, res.Cycles, inv, wb, lock, barrier, rest)
 }

@@ -1,0 +1,118 @@
+package main
+
+// Build-and-run smoke tests mirroring cmd/hicsim's: the binary is
+// compiled into a temp dir and driven through a full
+// record -> replay -> dump round trip the way a user would.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildHictrace(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hictrace")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestHictraceRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildHictrace(t)
+	dir := t.TempDir()
+
+	out, err := exec.Command(bin, "record", "-app", "fft", "-config", "B+M+I", "-dir", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("hictrace record: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "recorded fft under B+M+I") {
+		t.Fatalf("record summary missing:\n%s", out)
+	}
+	traces, err := filepath.Glob(filepath.Join(dir, "t*.trace"))
+	if err != nil || len(traces) == 0 {
+		t.Fatalf("no trace files written (%v)", err)
+	}
+
+	t.Run("replay", func(t *testing.T) {
+		out, err := exec.Command(bin, "replay", "-config", "Base",
+			"-dir", dir, "-threads", "16").CombinedOutput()
+		if err != nil {
+			t.Fatalf("hictrace replay: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "replayed under Base:") {
+			t.Errorf("replay summary missing:\n%s", out)
+		}
+	})
+
+	t.Run("replay-json-deterministic", func(t *testing.T) {
+		run := func() []byte {
+			out, err := exec.Command(bin, "replay", "-config", "Base",
+				"-dir", dir, "-threads", "16", "-json").Output()
+			if err != nil {
+				t.Fatalf("hictrace replay -json: %v", err)
+			}
+			return out
+		}
+		a, b := run(), run()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("replay -json differs across runs:\n%s\nvs\n%s", a, b)
+		}
+		var doc struct {
+			Schema string `json:"schema"`
+			Config string `json:"config"`
+			Cycles int64  `json:"cycles"`
+		}
+		if err := json.Unmarshal(a, &doc); err != nil {
+			t.Fatalf("decoding replay -json: %v", err)
+		}
+		if doc.Schema != "hic-replay/v1" || doc.Config != "Base" {
+			t.Errorf("schema/config = %s/%s, want hic-replay/v1/Base", doc.Schema, doc.Config)
+		}
+		if doc.Cycles <= 0 {
+			t.Errorf("cycles = %d, want > 0", doc.Cycles)
+		}
+	})
+
+	t.Run("dump-truncation", func(t *testing.T) {
+		full, err := exec.Command(bin, "dump", "-file", traces[0]).Output()
+		if err != nil {
+			t.Fatalf("hictrace dump: %v", err)
+		}
+		fullLines := strings.Count(string(full), "\n")
+		if fullLines <= 5 {
+			t.Fatalf("trace too short (%d lines) to exercise -n", fullLines)
+		}
+		head, err := exec.Command(bin, "dump", "-file", traces[0], "-n", "5").Output()
+		if err != nil {
+			t.Fatalf("hictrace dump -n 5: %v", err)
+		}
+		if got := strings.Count(string(head), "\n"); got != 5 {
+			t.Errorf("dump -n 5 printed %d lines", got)
+		}
+		if !bytes.HasPrefix(full, head) {
+			t.Error("dump -n 5 is not a prefix of the full dump")
+		}
+	})
+
+	t.Run("dump-missing-file-exits-nonzero", func(t *testing.T) {
+		if err := exec.Command(bin, "dump", "-file", filepath.Join(dir, "nope.trace")).Run(); err == nil {
+			t.Fatal("missing trace file accepted")
+		}
+	})
+
+	t.Run("bad-subcommand-exits-nonzero", func(t *testing.T) {
+		if err := exec.Command(bin, "transmogrify").Run(); err == nil {
+			t.Fatal("unknown subcommand accepted")
+		}
+	})
+
+}

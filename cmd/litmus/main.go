@@ -1,0 +1,142 @@
+// Command litmus runs the litmus-test suite: every test in
+// internal/litmus's standard table, explored through all thread
+// interleavings (up to the step budget) under each configuration, with
+// outcomes checked against the declared allowed sets and the coherence
+// oracle's visibility rules.
+//
+// Usage:
+//
+//	litmus [-test NAME] [-config NAME] [-budget N] [-max-schedules N] [-json] [-v]
+//
+// By default every suite test runs under every configuration (Base,
+// B+M+I, Adaptive) and one verdict line is printed per pair; -v adds
+// exploration statistics and the outcome histogram. -test and -config
+// restrict the matrix. The exit status is nonzero iff any verdict
+// fails — an annotated test with a violation, an under-annotated test
+// whose bug no schedule exposed (or exposed with the wrong
+// attribution), or a non-exhaustive exploration.
+//
+// With -json a single machine-readable document (schema hic-litmus/v1)
+// is emitted on stdout instead of the text report. The document is
+// canonical: fixed key order, sorted outcome maps, no timestamps —
+// byte-identical across runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/litmus"
+)
+
+// SchemaVersion identifies the -json document layout.
+const SchemaVersion = "hic-litmus/v1"
+
+// Result pairs one exploration's verdict with its full report.
+type Result struct {
+	Verdict litmus.Verdict `json:"verdict"`
+	Report  *litmus.Report `json:"report"`
+}
+
+// Document is the -json output: the whole run, in suite-then-config
+// order.
+type Document struct {
+	Schema  string   `json:"schema"`
+	Budget  int      `json:"budget"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("litmus: ")
+	testName := flag.String("test", "", "run only the named suite test")
+	cfgName := flag.String("config", "", "run only the named configuration (Base, B+M+I, Adaptive)")
+	budget := flag.Int("budget", 0, "per-schedule step budget (0 = default)")
+	maxSched := flag.Int("max-schedules", 0, "total schedule cap per exploration (0 = default)")
+	jsonOut := flag.Bool("json", false, "emit results as a machine-readable JSON document on stdout")
+	verbose := flag.Bool("v", false, "print exploration statistics and outcome histograms")
+	flag.Parse()
+
+	tests := litmus.Suite
+	if *testName != "" {
+		t, ok := litmus.SuiteTest(*testName)
+		if !ok {
+			log.Fatalf("unknown test %q; suite tests: %s", *testName, suiteNames())
+		}
+		tests = []litmus.Test{t}
+	}
+	configs := litmus.Configs
+	if *cfgName != "" {
+		c, ok := litmus.ConfigByName(*cfgName)
+		if !ok {
+			log.Fatalf("unknown config %q; configs: %s", *cfgName, configNames())
+		}
+		configs = []litmus.Config{c}
+	}
+	opts := litmus.Options{Budget: *budget, MaxSchedules: *maxSched}
+
+	doc := Document{Schema: SchemaVersion, Budget: opts.Budget}
+	failed := false
+	for _, t := range tests {
+		for _, cfg := range configs {
+			v, rep, err := litmus.Run(t, cfg, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			doc.Results = append(doc.Results, Result{Verdict: v, Report: rep})
+			if !v.OK {
+				failed = true
+			}
+			if !*jsonOut {
+				fmt.Println(v)
+				if *verbose {
+					fmt.Printf("  %d schedules, %d pruned, %d dead ends, %d violation schedule(s)\n",
+						rep.Schedules, rep.Pruned, rep.DeadEnds, rep.ViolationSchedules)
+					for _, o := range rep.SortedOutcomes() {
+						fmt.Printf("  outcome %-24s count=%-6d allowed=%-5v sample=%s\n",
+							o.Key, o.Count, o.Allowed, o.Sample)
+					}
+					for _, vi := range rep.Violations {
+						fmt.Printf("  violation [%s] on %s: %s\n", vi.Class, vi.Schedule, vi.Detail)
+					}
+				}
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func suiteNames() string {
+	s := ""
+	for i, t := range litmus.Suite {
+		if i > 0 {
+			s += ", "
+		}
+		s += t.Name
+	}
+	return s
+}
+
+func configNames() string {
+	s := ""
+	for i, c := range litmus.Configs {
+		if i > 0 {
+			s += ", "
+		}
+		s += c.Name
+	}
+	return s
+}

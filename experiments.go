@@ -234,7 +234,10 @@ func RunIntraBlockOpts(ctx context.Context, s Scale, opts RunOptions) (*IntraRes
 			// execution time ratio.
 			inv, wb, lock, barrier, rest := r.Stalls.Figure9()
 			tot := float64(inv + wb + lock + barrier + rest)
-			scale := float64(r.Cycles) / hccCycles / tot
+			var scale float64
+			if tot > 0 {
+				scale = ratio(float64(r.Cycles), hccCycles) / tot
+			}
 			g9.Bars = append(g9.Bars, stats.Bar{
 				Label: cfg.Name,
 				Segments: []float64{
@@ -249,8 +252,8 @@ func RunIntraBlockOpts(ctx context.Context, s Scale, opts RunOptions) (*IntraRes
 				g10.Bars = append(g10.Bars, stats.Bar{
 					Label: cfg.Name,
 					Segments: []float64{
-						float64(lf) / norm, float64(wbt) / norm,
-						float64(invt) / norm, float64(memt) / norm,
+						ratio(float64(lf), norm), ratio(float64(wbt), norm),
+						ratio(float64(invt), norm), ratio(float64(memt), norm),
 					},
 				})
 			}
@@ -362,7 +365,7 @@ func RunInterBlockOpts(ctx context.Context, s Scale, opts RunOptions) (*InterRes
 			if r := grid.Result(w.Name, mode.String()); r != nil {
 				g12.Bars = append(g12.Bars, stats.Bar{
 					Label:    mode.String(),
-					Segments: []float64{float64(r.Cycles) / hccCycles},
+					Segments: []float64{ratio(float64(r.Cycles), hccCycles)},
 				})
 			}
 		}

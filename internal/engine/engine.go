@@ -199,6 +199,13 @@ type Engine struct {
 	rq   runq
 	obs  Observer
 
+	// sched, when non-nil, replaces the default scheduling policy (see
+	// sched.go); cands is its reused candidate buffer and decision counts
+	// the scheduling decisions taken.
+	sched    Scheduler
+	cands    []Candidate
+	decision int64
+
 	// NoProgressLimit overrides the livelock watchdog window when
 	// positive (see DefaultNoProgressLimit). Set it before Run.
 	NoProgressLimit int64
@@ -300,7 +307,11 @@ func (e *Engine) RunCtx(ctx context.Context) (*Result, error) {
 			}
 		}
 		steps++
-		t := e.pickRunnable()
+		t, serr := e.next()
+		if serr != nil {
+			e.shutdown()
+			return nil, serr
+		}
 		if t == nil {
 			if e.allDone() {
 				break
@@ -370,13 +381,6 @@ func (e *Engine) blockedIDs() []int {
 	}
 	sort.Ints(ids)
 	return ids
-}
-
-// pickRunnable returns the ready thread with minimum time (ties: lowest
-// ID), or nil. Ready threads live in the run queue; see runq for why the
-// heap order is equivalent to the old linear scan.
-func (e *Engine) pickRunnable() *thread {
-	return e.rq.pop()
 }
 
 func (e *Engine) allDone() bool {
@@ -589,7 +593,11 @@ func (e *Engine) recvNext(t *thread) {
 	}
 	t.next = op
 	t.state = ready
-	e.rq.push(t)
+	// With an external scheduler ready threads are found by scanning
+	// e.ts (see next), so the run queue stays unused.
+	if e.sched == nil {
+		e.rq.push(t)
+	}
 }
 
 // stopSentinel is the panic value do() raises when the engine poisons a

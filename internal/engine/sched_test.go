@@ -1,0 +1,138 @@
+package engine
+
+// Tests of the pluggable scheduler hook: an external policy that mimics
+// the default order must reproduce the default run bit-for-bit, a fixed
+// round-robin policy must be deterministic across repeats, candidate
+// lists must arrive sorted by thread ID, and a negative pick must abort
+// the run with a ScheduleAbortError (unwinding every guest goroutine).
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// minTimeSched reimplements the default policy (minimum local clock,
+// thread-ID tie-break) through the external hook.
+type minTimeSched struct{}
+
+func (minTimeSched) Pick(cands []Candidate) int {
+	best := 0
+	for i, c := range cands[1:] {
+		if c.Time < cands[best].Time {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+// pickFunc adapts a function to the Scheduler interface.
+type pickFunc func(cands []Candidate) int
+
+func (f pickFunc) Pick(cands []Candidate) int { return f(cands) }
+
+// schedGuests is a small two-thread producer/consumer program with both
+// data ops and synchronization, enough to exercise blocking under an
+// external scheduler.
+func schedGuests() []Guest {
+	const x, y = 0x100, 0x200
+	producer := func(p Proc) {
+		p.Store(x, 7)
+		p.WB(mem.WordRange(x, 1))
+		p.FlagSet(1, 1)
+		p.Store(y, 9)
+		p.Compute(10)
+	}
+	consumer := func(p Proc) {
+		p.FlagWait(1, 1)
+		p.INV(mem.WordRange(x, 1))
+		p.Load(x)
+		p.Load(y)
+	}
+	return []Guest{producer, consumer}
+}
+
+func TestSchedulerMimicsDefault(t *testing.T) {
+	def, err := New(newNullHierarchy(), schedGuests()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(newNullHierarchy(), schedGuests())
+	e.SetScheduler(minTimeSched{})
+	ext, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(def, ext) {
+		t.Errorf("external min-time scheduler diverges from default:\ndefault:  %+v\nexternal: %+v", def, ext)
+	}
+}
+
+func TestSchedulerCandidatesSortedAndDeterministic(t *testing.T) {
+	run := func() (*Result, [][]int) {
+		var trace [][]int
+		e := New(newNullHierarchy(), schedGuests())
+		e.SetScheduler(pickFunc(func(cands []Candidate) int {
+			ids := make([]int, len(cands))
+			for i, c := range cands {
+				ids[i] = c.Thread
+				if i > 0 && cands[i-1].Thread >= c.Thread {
+					t.Fatalf("candidates not sorted by thread ID: %v", cands)
+				}
+				if c.Op.Kind < 0 || c.Op.Kind >= isa.NumOpKinds {
+					t.Fatalf("candidate carries invalid op %v", c.Op)
+				}
+			}
+			trace = append(trace, ids)
+			return len(cands) - 1 // always prefer the highest thread ID
+		}))
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, trace
+	}
+	r1, t1 := run()
+	r2, t2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("same schedule, different results: %+v vs %+v", r1, r2)
+	}
+	if !reflect.DeepEqual(t1, t2) {
+		t.Errorf("same policy, different candidate traces: %v vs %v", t1, t2)
+	}
+}
+
+func TestSchedulerAbort(t *testing.T) {
+	const budget = 3
+	steps := 0
+	e := New(newNullHierarchy(), schedGuests())
+	e.SetScheduler(pickFunc(func(cands []Candidate) int {
+		if steps >= budget {
+			return -1
+		}
+		steps++
+		return 0
+	}))
+	_, err := e.Run()
+	var abort *ScheduleAbortError
+	if !errors.As(err, &abort) {
+		t.Fatalf("aborted run returned %v, want *ScheduleAbortError", err)
+	}
+	if abort.Step != budget {
+		t.Errorf("abort at decision %d, want %d", abort.Step, budget)
+	}
+	if abort.ErrorKind() != "sched-abort" {
+		t.Errorf("ErrorKind = %q, want sched-abort", abort.ErrorKind())
+	}
+}
+
+func TestSchedulerOutOfRangePickFails(t *testing.T) {
+	e := New(newNullHierarchy(), schedGuests())
+	e.SetScheduler(pickFunc(func(cands []Candidate) int { return len(cands) }))
+	if _, err := e.Run(); err == nil {
+		t.Fatal("out-of-range pick accepted")
+	}
+}

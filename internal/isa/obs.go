@@ -1,0 +1,85 @@
+package isa
+
+import "repro/internal/mem"
+
+// This file classifies operations for observers of a running machine —
+// schedule explorers, the coherence oracle, and trace analyzers — that
+// need to reason about what an op touches without re-deriving the
+// hierarchy's behavior.
+
+// IsWBFamily reports whether the op pushes dirty data toward shared
+// levels: the range, ALL, and level-adaptive writeback forms.
+func (k OpKind) IsWBFamily() bool {
+	switch k {
+	case OpWB, OpWBAll, OpWBCons, OpWBConsAll:
+		return true
+	}
+	return false
+}
+
+// IsINVFamily reports whether the op discards potentially stale private
+// copies: the range, ALL, signature-filtered, and level-adaptive
+// self-invalidation forms.
+func (k OpKind) IsINVFamily() bool {
+	switch k {
+	case OpINV, OpINVAll, OpInvProd, OpInvProdAll, OpINVSig:
+		return true
+	}
+	return false
+}
+
+// PureLocal reports whether the op touches no shared machine state at
+// all: it commutes with every op of every other thread. Only compute
+// qualifies — even a cache-hitting load can change LRU state that a
+// later eviction observes.
+func (o Op) PureLocal() bool { return o.Kind == OpCompute }
+
+// Footprint returns the byte range of memory the op reads, writes, or
+// flushes, and whether that range is statically known. Whole-cache
+// flushes, DMA, signature ops, and synchronization return ok=false:
+// their effect depends on dynamic cache or controller state, so
+// observers must treat them as touching everything.
+func (o Op) Footprint() (r mem.Range, ok bool) {
+	switch o.Kind {
+	case OpLoad, OpStore, OpLoadU, OpStoreU:
+		return mem.WordRange(o.Addr, 1), true
+	case OpWB, OpINV, OpWBCons, OpInvProd:
+		return o.Range, true
+	}
+	return mem.Range{}, false
+}
+
+// Independent reports whether two ops from different threads commute:
+// executing them in either adjacent order yields the same machine state.
+// Compute is independent of everything; ops with static footprints
+// commute when their footprints share no cache line (line granularity,
+// because WB/INV and fills move whole lines). Everything else —
+// synchronization, whole-cache flushes, DMA, signatures — is treated as
+// conflicting with every non-local op.
+//
+// The line-disjointness rule is only sound while no line moves for
+// capacity reasons: an eviction caused by one thread's fill can change
+// which data a disjoint-range flush on another thread writes back.
+// Callers that prune schedules with this predicate (internal/litmus)
+// must therefore verify the run performed no dirty evictions.
+func Independent(a, b Op) bool {
+	if a.PureLocal() || b.PureLocal() {
+		return true
+	}
+	ra, oka := a.Footprint()
+	rb, okb := b.Footprint()
+	if !oka || !okb {
+		return false
+	}
+	return !lineSpan(ra).Overlaps(lineSpan(rb))
+}
+
+// lineSpan widens a range to full line granularity.
+func lineSpan(r mem.Range) mem.Range {
+	if r.Empty() {
+		return r
+	}
+	base := mem.LineAddr(r.Base)
+	end := mem.LineAddr(r.End()-1) + mem.LineBytes
+	return mem.Range{Base: base, Bytes: uint32(end - base)}
+}

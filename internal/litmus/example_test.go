@@ -1,0 +1,83 @@
+package litmus_test
+
+import (
+	"fmt"
+
+	"repro/internal/litmus"
+	"repro/internal/mem"
+)
+
+// ExampleRun defines a minimal message-passing litmus test in the DSL
+// and explores it exhaustively under the Base configuration: the writer
+// publishes a payload and sets a hardware flag; the reader waits,
+// self-invalidates, and must always observe the payload.
+func ExampleRun() {
+	test := litmus.Test{
+		Name: "example-mp",
+		Doc:  "annotated message passing: the reader always sees 42",
+		Vars: 1, // one shared variable, X, on its own cache line
+		Regs: 1, // one observation register, r0
+		Threads: [][]litmus.Instr{
+			{ // writer
+				litmus.Store(0, 42),
+				litmus.Publish(0, 1), // write X back, for consumer thread 1
+				litmus.FlagSet(0, 1),
+			},
+			{ // reader
+				litmus.FlagWait(0, 1),
+				litmus.Invalidate(0, 0), // discard stale X, produced by thread 0
+				litmus.Load(0, 0),       // r0 = X
+			},
+		},
+		Allowed:  []litmus.Outcome{{Regs: []mem.Word{42}}},
+		Requires: []litmus.Outcome{{Regs: []mem.Word{42}}},
+		Expect:   litmus.ExpectNone,
+	}
+
+	verdict, report, err := litmus.Run(test, litmus.Base, litmus.Options{})
+	if err != nil {
+		fmt.Println("invalid test:", err)
+		return
+	}
+	fmt.Println(verdict)
+	fmt.Printf("schedules explored: %d\n", report.Schedules)
+	for _, o := range report.SortedOutcomes() {
+		fmt.Printf("outcome %s: %d schedule(s), allowed=%v\n", o.Key, o.Count, o.Allowed)
+	}
+	// Output:
+	// example-mp/Base: ok (expect none)
+	// schedules explored: 4
+	// outcome r0=42: 4 schedule(s), allowed=true
+}
+
+// ExampleReport_Verdict shows how an under-annotated test reads its
+// verdict: the writer forgets the writeback, and the exhaustive
+// exploration must find at least one schedule where the reader observes
+// the stale value, attributed to the missing WB.
+func ExampleReport_Verdict() {
+	test := litmus.Test{
+		Name: "example-mp-nowb",
+		Doc:  "the writer never publishes: every ordered read is stale",
+		Vars: 1, Regs: 1,
+		Threads: [][]litmus.Instr{
+			{litmus.Store(0, 42), litmus.FlagSet(0, 1)}, // missing Publish
+			{litmus.FlagWait(0, 1), litmus.Invalidate(0, 0), litmus.Load(0, 0)},
+		},
+		Allowed: []litmus.Outcome{{Regs: []mem.Word{0}}}, // the stale zero is what the machine produces
+		Expect:  litmus.ExpectMissingWB,
+	}
+
+	report, err := litmus.Explore(test, litmus.Base, litmus.Options{})
+	if err != nil {
+		fmt.Println("invalid test:", err)
+		return
+	}
+	verdict := report.Verdict(test)
+	fmt.Println("ok:", verdict.OK)
+	fmt.Println("exposing schedules:", report.ViolationSchedules)
+	fmt.Println("attribution:", report.Violations[0].Class)
+	// Output:
+	// ok: true
+	// exposing schedules: 3
+	// attribution: missing-wb
+}

@@ -1,0 +1,282 @@
+package litmus
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/oracle"
+	"repro/internal/topo"
+)
+
+// Options bounds one exploration.
+type Options struct {
+	// Budget is the maximum number of scheduling decisions per schedule;
+	// schedules that exceed it are cut off and counted as Truncated
+	// (failing exhaustiveness). Default 256.
+	Budget int
+	// MaxSchedules caps the total number of runs (complete, truncated,
+	// or dead-end); hitting it sets Report.Capped. Default 200000.
+	MaxSchedules int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget <= 0 {
+		o.Budget = 256
+	}
+	if o.MaxSchedules <= 0 {
+		o.MaxSchedules = 200000
+	}
+	return o
+}
+
+// litmusCores is the machine size explorations run on: a single block
+// (the intra-block topology, scaled to four cores) is enough for every
+// two- and three-thread test and keeps per-run construction cheap.
+const litmusCores = 4
+
+// litmusHierarchy builds the small, fresh hierarchy one schedule runs
+// on. Caches are scaled down (4 KB L1, 32 KB L2) — litmus footprints
+// are a handful of lines, and small caches keep per-run allocation off
+// the exploration's critical path.
+func litmusHierarchy(cfg Config) *core.Hierarchy {
+	m := topo.NewCustom(1, litmusCores, 0, topo.DefaultParams())
+	return core.New(m, core.Config{
+		L1:         cache.Config{Bytes: 4 << 10, Ways: 4},
+		L2:         cache.Config{Bytes: 32 << 10, Ways: 8},
+		MEBEntries: cfg.MEBEntries,
+		IEBEntries: cfg.IEBEntries,
+	})
+}
+
+// run status values.
+const (
+	runComplete = iota
+	runDeadEnd
+	runTruncated
+	runError
+)
+
+// replayer is the engine.Scheduler that drives one run: it replays the
+// prefix of candidate-index choices, then extends it with the first
+// candidate the partial-order reduction allows, recording the candidate
+// list at every decision for the driver's backtracking.
+type replayer struct {
+	prefix []int
+	budget int
+	pruned *int64
+
+	trace  [][]engine.Candidate
+	chosen []int
+	status int
+}
+
+func (r *replayer) Pick(cands []engine.Candidate) int {
+	d := len(r.chosen)
+	if d >= r.budget {
+		r.status = runTruncated
+		return -1
+	}
+	r.trace = append(r.trace, append([]engine.Candidate(nil), cands...))
+	var choice int
+	if d < len(r.prefix) {
+		choice = r.prefix[d]
+		if choice >= len(cands) {
+			// Deterministic replay guarantees identical candidate sets;
+			// reaching this means the engine or a guest is nondeterministic.
+			panic(fmt.Sprintf("litmus: replay diverged at decision %d: choice %d of %d candidates",
+				d, choice, len(cands)))
+		}
+	} else {
+		choice = -1
+		for j := range cands {
+			if r.prunedAt(d, cands, j) {
+				*r.pruned++
+				continue
+			}
+			choice = j
+			break
+		}
+		if choice < 0 {
+			// Every candidate is pruned: this prefix is a non-canonical
+			// linearization whose representative is explored elsewhere.
+			r.status = runDeadEnd
+			return -1
+		}
+	}
+	r.chosen = append(r.chosen, choice)
+	return choice
+}
+
+// prunedAt implements the adjacent-swap canonicalization: candidate j
+// at decision d is cut iff executing it here would create an adjacent
+// independent inversion — the previous step came from a higher-numbered
+// thread and the two ops commute (isa.Independent). Every schedule
+// equivalence class keeps at least one inversion-free representative,
+// so pruning these branches loses no outcomes; see also the eviction
+// guard that protects the independence relation's soundness.
+func (r *replayer) prunedAt(d int, cands []engine.Candidate, j int) bool {
+	if d == 0 {
+		return false
+	}
+	prev := r.trace[d-1][r.chosen[d-1]]
+	c := cands[j]
+	return prev.Thread > c.Thread && isa.Independent(prev.Op, c.Op)
+}
+
+// schedule renders the executed thread order as a comma-separated ID
+// string ("0,0,1,0"), the replayable identity of the run.
+func (r *replayer) schedule() string {
+	var b strings.Builder
+	for d, c := range r.chosen {
+		if d > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(r.trace[d][c].Thread))
+	}
+	return b.String()
+}
+
+// maxErrorsKept caps Report.Errors.
+const maxErrorsKept = 8
+
+// Explore drives the test through every schedule (up to opts) under
+// cfg, aggregating outcomes, oracle violations, and exploration
+// statistics. The returned error covers only malformed tests; machine
+// or expectation failures are reported through Report/Verdict.
+func Explore(t Test, cfg Config, opts Options) (*Report, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if len(t.Threads) > litmusCores {
+		return nil, fmt.Errorf("litmus %s: %d threads exceed the %d-core litmus machine", t.Name, len(t.Threads), litmusCores)
+	}
+	opts = opts.withDefaults()
+	rep := &Report{Test: t.Name, Config: cfg.Name, Outcomes: map[string]*OutcomeInfo{}}
+
+	prefix := []int{}
+	for runs := 0; ; runs++ {
+		if runs >= opts.MaxSchedules {
+			rep.Capped = true
+			break
+		}
+		r := runOne(t, cfg, prefix, opts.Budget, rep)
+		next, ok := backtrack(r, &rep.Pruned)
+		if !ok {
+			break
+		}
+		prefix = next
+	}
+	return rep, nil
+}
+
+// backtrack finds the deepest decision with an unexplored, unpruned
+// candidate and returns the prefix that takes it; ok=false means the
+// schedule space is exhausted.
+func backtrack(r *replayer, pruned *int64) ([]int, bool) {
+	for d := len(r.chosen) - 1; d >= 0; d-- {
+		for j := r.chosen[d] + 1; j < len(r.trace[d]); j++ {
+			if r.prunedAt(d, r.trace[d], j) {
+				*pruned++
+				continue
+			}
+			next := make([]int, d+1)
+			copy(next, r.chosen[:d])
+			next[d] = j
+			return next, true
+		}
+	}
+	return nil, false
+}
+
+// runOne executes one schedule: a fresh hierarchy, engine, and oracle,
+// driven by the replayer. Complete runs drain the hierarchy, check the
+// final memory image, and fold the outcome and any violations into rep.
+func runOne(t Test, cfg Config, prefix []int, budget int, rep *Report) *replayer {
+	h := litmusHierarchy(cfg)
+	regs := make([]mem.Word, t.Regs)
+	for i := range regs {
+		regs[i] = UnsetReg
+	}
+	e := engine.New(h, guests(t, cfg, regs))
+	o := oracle.New(len(t.Threads))
+	e.SetObserver(o)
+	r := &replayer{prefix: prefix, budget: budget, pruned: &rep.Pruned}
+	e.SetScheduler(r)
+
+	_, err := e.Run()
+	switch {
+	case r.status == runDeadEnd:
+		rep.DeadEnds++
+		return r
+	case r.status == runTruncated:
+		rep.Truncated++
+		return r
+	case err != nil:
+		r.status = runError
+		if len(rep.Errors) < maxErrorsKept {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("schedule %s: %v", r.schedule(), err))
+		}
+		return r
+	}
+
+	// Probe stale-read violations before the drain rewrites memory, so
+	// the "where" snapshot reflects the machine state the reader saw.
+	sched := r.schedule()
+	viol := o.Violations()
+	wheres := make([]string, len(viol))
+	for i, v := range viol {
+		if v.Reader >= 0 {
+			p := h.ProbeWord(v.Reader, v.Addr)
+			wheres[i] = fmt.Sprintf("reader L1: present=%v dirty=%v val=%d; L2: present=%v val=%d; mem=%d",
+				p.L1Present, p.L1Dirty, p.L1Val, p.L2Present, p.L2Val, p.MemVal)
+		}
+	}
+	h.Drain()
+	o.CheckFinal(h.Memory())
+	if h.Evictions() > 0 {
+		rep.EvictionRuns++
+	}
+
+	out := Outcome{Regs: append([]mem.Word(nil), regs...), Mem: make([]mem.Word, len(t.Final))}
+	for i, v := range t.Final {
+		out.Mem[i] = h.Memory().ReadWord(varAddr(v))
+	}
+	key := out.Key()
+	info := rep.Outcomes[key]
+	if info == nil {
+		info = &OutcomeInfo{Outcome: out, Key: key, Allowed: t.allowed(out), Sample: sched}
+		rep.Outcomes[key] = info
+	}
+	info.Count++
+	rep.Schedules++
+
+	if o.Total() > 0 {
+		rep.ViolationSchedules++
+		for i, v := range o.Violations() {
+			if len(rep.Violations) >= maxViolationsKept {
+				break
+			}
+			vi := ViolationInfo{Class: string(v.Class), Schedule: sched, Detail: v.String()}
+			if i < len(wheres) {
+				vi.Where = wheres[i]
+			}
+			rep.Violations = append(rep.Violations, vi)
+		}
+	}
+	return r
+}
+
+// Run explores the test under cfg and judges the result in one call.
+func Run(t Test, cfg Config, opts Options) (Verdict, *Report, error) {
+	rep, err := Explore(t, cfg, opts)
+	if err != nil {
+		return Verdict{}, nil, err
+	}
+	return rep.Verdict(t), rep, nil
+}

@@ -1,0 +1,362 @@
+// Package litmus is the repo's correctness-tooling layer: a table-driven
+// litmus-test engine that drives internal/engine through every thread
+// interleaving of a tiny guest program (up to a step budget, with
+// partial-order pruning of provably equivalent schedules) and checks
+// every outcome against both the test's declared allowed set and
+// internal/oracle's visibility rules.
+//
+// Each test is a handful of threads written in a small instruction DSL
+// (ILoad/IStore plus the WB/INV publication forms and both raw and
+// annotated synchronization), a declared set of allowed final
+// register/memory outcomes, and an expectation: annotated variants must
+// be violation-free on every schedule, while deliberately
+// under-annotated variants must expose their stale read or lost update
+// on at least one schedule with the correct missing-wb / missing-inv /
+// lost-update attribution. The standard suite (Suite) covers the
+// classic patterns — message passing, store/load buffering, coherent
+// read-read and write-write, lock- and flag-based publication, and
+// Figure 6b's enforced-data-race flags — under the Base, B+M+I, and
+// level-adaptive configurations.
+package litmus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/annotate"
+	"repro/internal/mem"
+)
+
+// VarID names one shared variable of a test. The harness places each
+// variable on its own cache line (sequential lines, so tiny tests can
+// never conflict-miss — see the eviction guard in explore.go).
+type VarID int
+
+// Reg names one observation register. Registers are global to the test
+// (any thread may write any register, though by convention each thread
+// owns its own) and initialize to the sentinel UnsetReg so a register
+// no instruction wrote is distinguishable from a loaded zero.
+type Reg int
+
+// UnsetReg is the initial value of every observation register.
+const UnsetReg mem.Word = 0xdeadbeef
+
+// InstrKind enumerates the litmus instruction vocabulary.
+type InstrKind int
+
+const (
+	// ILoad loads Var into register Dst. IStore stores Val to Var.
+	// ICompute burns Val cycles of local work.
+	ILoad InstrKind = iota
+	IStore
+	ICompute
+
+	// IWB / IINV are the raw per-variable writeback / self-invalidation
+	// of Figure 6b: identical in every configuration. Under-annotated
+	// variants use them on the side that is still correct, so the blame
+	// for the exposed stale read lands on the side that omitted them.
+	IWB
+	IINV
+
+	// IPublish and IInvalidate are the config-lowered publication forms:
+	// WB(range) / INV(range) under Base, the MEB-served WB ALL and
+	// IEB-arming lazy INV ALL under B+M+I, and WB_CONS(range, Peer) /
+	// INV_PROD(range, Peer) under the level-adaptive configuration.
+	IPublish
+	IInvalidate
+
+	// ISpin is Figure 6b's racy flag read loop: up to N probes of
+	// {INV Var; load Var}, stopping early when the loaded value equals
+	// Val. The last loaded value lands in Dst.
+	ISpin
+
+	// Raw synchronization: the machine operation with no annotation at
+	// all. Under-annotated variants use these where an annotated variant
+	// would use the forms below.
+	IAcquire
+	IRelease
+	IFlagSet
+	IFlagWait
+
+	// Annotated synchronization, lowered through internal/annotate
+	// exactly as Programming Model 1 programs are: the active
+	// configuration decides which WB/INV forms surround the operation.
+	ICSEnter
+	ICSExit
+	INotifyFlag
+	IAwaitFlag
+	IBarrierSync
+)
+
+var instrNames = [...]string{
+	"load", "store", "compute",
+	"wb", "inv", "publish", "invalidate", "spin",
+	"acquire", "release", "flagset", "flagwait",
+	"csenter", "csexit", "notifyflag", "awaitflag", "barriersync",
+}
+
+func (k InstrKind) String() string {
+	if k < 0 || int(k) >= len(instrNames) {
+		return fmt.Sprintf("instr(%d)", int(k))
+	}
+	return instrNames[k]
+}
+
+// Instr is one litmus instruction. Only the fields relevant to Kind are
+// meaningful.
+type Instr struct {
+	Kind InstrKind
+	Var  VarID    // load/store/WB/INV/publish/spin target
+	Val  mem.Word // store value, spin target value, flag value, compute cycles
+	Dst  Reg      // destination register (ILoad, ISpin)
+	ID   int      // lock/flag/barrier identifier
+	N    int      // spin probe bound (ISpin)
+	Peer int      // peer thread for the level-adaptive publication forms
+}
+
+// Convenience constructors keep test tables readable.
+
+// Load reads v into register dst.
+func Load(v VarID, dst Reg) Instr { return Instr{Kind: ILoad, Var: v, Dst: dst} }
+
+// Store writes val to v.
+func Store(v VarID, val mem.Word) Instr { return Instr{Kind: IStore, Var: v, Val: val} }
+
+// WB and INV are the raw, config-invariant per-variable forms.
+func WB(v VarID) Instr  { return Instr{Kind: IWB, Var: v} }
+func INV(v VarID) Instr { return Instr{Kind: IINV, Var: v} }
+
+// Publish and Invalidate are the config-lowered forms; peer is the
+// consuming (resp. producing) thread for the level-adaptive lowering.
+func Publish(v VarID, peer int) Instr    { return Instr{Kind: IPublish, Var: v, Peer: peer} }
+func Invalidate(v VarID, peer int) Instr { return Instr{Kind: IInvalidate, Var: v, Peer: peer} }
+
+// Spin probes v up to n times (INV + load each), stopping when it reads
+// target; the last value read lands in dst.
+func Spin(v VarID, target mem.Word, n int, dst Reg) Instr {
+	return Instr{Kind: ISpin, Var: v, Val: target, N: n, Dst: dst}
+}
+
+// Raw synchronization.
+func Acquire(lock int) Instr           { return Instr{Kind: IAcquire, ID: lock} }
+func Release(lock int) Instr           { return Instr{Kind: IRelease, ID: lock} }
+func FlagSet(id int, v mem.Word) Instr { return Instr{Kind: IFlagSet, ID: id, Val: v} }
+func FlagWait(id int, v mem.Word) Instr {
+	return Instr{Kind: IFlagWait, ID: id, Val: v}
+}
+
+// Annotated synchronization.
+func CSEnter(lock int) Instr { return Instr{Kind: ICSEnter, ID: lock} }
+func CSExit(lock int) Instr  { return Instr{Kind: ICSExit, ID: lock} }
+func NotifyFlag(id int, v mem.Word) Instr {
+	return Instr{Kind: INotifyFlag, ID: id, Val: v}
+}
+func AwaitFlag(id int, v mem.Word) Instr {
+	return Instr{Kind: IAwaitFlag, ID: id, Val: v}
+}
+func BarrierSync(id int) Instr { return Instr{Kind: IBarrierSync, ID: id} }
+
+// Expectation declares what the exhaustive exploration must find.
+type Expectation int
+
+const (
+	// ExpectNone: a correctly annotated test — zero oracle violations
+	// and only Allowed outcomes, on every schedule.
+	ExpectNone Expectation = iota
+	// ExpectMissingWB / ExpectMissingINV / ExpectLostUpdate: an
+	// under-annotated test — at least one schedule must produce an
+	// oracle violation, and every violation must carry exactly this
+	// attribution class.
+	ExpectMissingWB
+	ExpectMissingINV
+	ExpectLostUpdate
+	// ExpectForbidden: a racy test whose reads the oracle deliberately
+	// skips — the bug instead surfaces as an outcome outside Allowed on
+	// at least one schedule, with zero oracle violations.
+	ExpectForbidden
+)
+
+var expectNames = [...]string{"none", "missing-wb", "missing-inv", "lost-update", "forbidden-outcome"}
+
+func (e Expectation) String() string {
+	if e < 0 || int(e) >= len(expectNames) {
+		return fmt.Sprintf("expect(%d)", int(e))
+	}
+	return expectNames[e]
+}
+
+// Outcome is one observable final state: every observation register (in
+// Reg order) plus the drained final memory value of each Final variable
+// (in declaration order).
+type Outcome struct {
+	Regs []mem.Word
+	Mem  []mem.Word
+}
+
+// Key renders the outcome as a canonical string, used as the map key in
+// reports.
+func (o Outcome) Key() string {
+	var b strings.Builder
+	for i, v := range o.Regs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if v == UnsetReg {
+			fmt.Fprintf(&b, "r%d=?", i)
+		} else {
+			fmt.Fprintf(&b, "r%d=%d", i, v)
+		}
+	}
+	for i, v := range o.Mem {
+		if i > 0 || len(o.Regs) > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "m%d=%d", i, v)
+	}
+	return b.String()
+}
+
+// Test is one litmus test.
+type Test struct {
+	// Name identifies the test; Doc says what it checks.
+	Name string
+	Doc  string
+	// Vars is the number of shared variables; Regs the number of
+	// observation registers.
+	Vars int
+	Regs int
+	// Threads holds each thread's instruction sequence.
+	Threads [][]Instr
+	// Final lists variables whose drained final memory value joins the
+	// outcome.
+	Final []VarID
+	// Allowed is the set of permitted outcomes.
+	Allowed []Outcome
+	// Requires lists outcomes that must each appear on at least one
+	// schedule — they prove the exploration actually reaches the
+	// interesting interleavings rather than vacuously passing.
+	Requires []Outcome
+	// Expect declares the verdict rule (see Expectation).
+	Expect Expectation
+	// OCC sets the annotation pattern's outside-critical-section
+	// communication bit for the annotated sync forms.
+	OCC bool
+}
+
+// Validate checks the test's internal consistency.
+func (t Test) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("litmus: test with empty name")
+	}
+	if len(t.Threads) == 0 {
+		return fmt.Errorf("litmus %s: no threads", t.Name)
+	}
+	check := func(o Outcome, what string) error {
+		if len(o.Regs) != t.Regs || len(o.Mem) != len(t.Final) {
+			return fmt.Errorf("litmus %s: %s outcome %q has shape %d regs/%d mem, want %d/%d",
+				t.Name, what, o.Key(), len(o.Regs), len(o.Mem), t.Regs, len(t.Final))
+		}
+		return nil
+	}
+	for _, o := range t.Allowed {
+		if err := check(o, "allowed"); err != nil {
+			return err
+		}
+	}
+	for _, o := range t.Requires {
+		if err := check(o, "required"); err != nil {
+			return err
+		}
+	}
+	for ti, th := range t.Threads {
+		for ii, in := range th {
+			if in.Var < 0 || (int(in.Var) >= t.Vars && varKinds[in.Kind]) {
+				return fmt.Errorf("litmus %s: thread %d instr %d (%v) references var %d of %d",
+					t.Name, ti, ii, in.Kind, in.Var, t.Vars)
+			}
+			if regKinds[in.Kind] && (in.Dst < 0 || int(in.Dst) >= t.Regs) {
+				return fmt.Errorf("litmus %s: thread %d instr %d (%v) writes reg %d of %d",
+					t.Name, ti, ii, in.Kind, in.Dst, t.Regs)
+			}
+			if in.Kind == ISpin && in.N < 1 {
+				return fmt.Errorf("litmus %s: thread %d instr %d: spin with N=%d", t.Name, ti, ii, in.N)
+			}
+		}
+	}
+	for _, v := range t.Final {
+		if v < 0 || int(v) >= t.Vars {
+			return fmt.Errorf("litmus %s: final var %d of %d", t.Name, v, t.Vars)
+		}
+	}
+	return nil
+}
+
+var varKinds = map[InstrKind]bool{
+	ILoad: true, IStore: true, IWB: true, IINV: true,
+	IPublish: true, IInvalidate: true, ISpin: true,
+}
+
+var regKinds = map[InstrKind]bool{ILoad: true, ISpin: true}
+
+// allowed reports whether o is in the test's allowed set.
+func (t Test) allowed(o Outcome) bool {
+	for _, a := range t.Allowed {
+		if outcomeEq(a, o) {
+			return true
+		}
+	}
+	return false
+}
+
+func outcomeEq(a, b Outcome) bool {
+	if len(a.Regs) != len(b.Regs) || len(a.Mem) != len(b.Mem) {
+		return false
+	}
+	for i := range a.Regs {
+		if a.Regs[i] != b.Regs[i] {
+			return false
+		}
+	}
+	for i := range a.Mem {
+		if a.Mem[i] != b.Mem[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Config is one litmus execution configuration: the annotation config
+// that lowers the annotated sync forms, the buffer sizes that enable
+// MEB/IEB in the hierarchy, and whether the publication forms lower to
+// the level-adaptive instructions.
+type Config struct {
+	Name string
+	Ann  annotate.Config
+	// MEBEntries/IEBEntries size the hierarchy's entry buffers (0 = off).
+	MEBEntries int
+	IEBEntries int
+	// Adaptive lowers IPublish/IInvalidate to WB_CONS/INV_PROD.
+	Adaptive bool
+}
+
+// The configurations that matter for the paper's protocol core
+// (Table II's endpoints plus Section V's level-adaptive forms).
+var (
+	Base     = Config{Name: "Base", Ann: annotate.Base}
+	BMI      = Config{Name: "B+M+I", Ann: annotate.BMI, MEBEntries: 16, IEBEntries: 4}
+	Adaptive = Config{Name: "Adaptive", Ann: annotate.Base, Adaptive: true}
+)
+
+// Configs is the standard configuration matrix.
+var Configs = []Config{Base, BMI, Adaptive}
+
+// ConfigByName resolves a configuration label (as printed by cmd/litmus
+// -config) to its Config.
+func ConfigByName(name string) (Config, bool) {
+	for _, c := range Configs {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Config{}, false
+}

@@ -1,0 +1,103 @@
+package litmus
+
+import (
+	"fmt"
+
+	"repro/internal/annotate"
+	"repro/internal/engine"
+	"repro/internal/mem"
+)
+
+// varBase is where the shared-variable arena starts; each variable owns
+// one full cache line so distinct variables never share a line (a
+// precondition of the explorer's independence pruning) and sequential
+// lines land in sequential sets (so tiny tests never conflict-miss).
+const varBase = mem.Addr(0x10000)
+
+// varAddr returns the address of variable v.
+func varAddr(v VarID) mem.Addr { return varBase + mem.Addr(v)*mem.LineBytes }
+
+// varRange returns the one-word range of variable v.
+func varRange(v VarID) mem.Range { return mem.WordRange(varAddr(v), 1) }
+
+// guests lowers the test's threads to engine guests under cfg. The regs
+// slice receives observation-register writes; guest execution is
+// serialized by the engine's rendezvous protocol, so sharing it is safe.
+func guests(t Test, cfg Config, regs []mem.Word) []engine.Guest {
+	gs := make([]engine.Guest, len(t.Threads))
+	for i, instrs := range t.Threads {
+		instrs := instrs
+		gs[i] = func(ep engine.Proc) {
+			p := annotate.Wrap(ep, cfg.Ann, annotate.Pattern{OCC: t.OCC})
+			for _, in := range instrs {
+				exec(p, cfg, in, regs)
+			}
+		}
+	}
+	return gs
+}
+
+// exec runs one litmus instruction on thread p.
+func exec(p *annotate.P, cfg Config, in Instr, regs []mem.Word) {
+	a := varAddr(in.Var)
+	r := varRange(in.Var)
+	switch in.Kind {
+	case ILoad:
+		regs[in.Dst] = p.Load(a)
+	case IStore:
+		p.Store(a, in.Val)
+	case ICompute:
+		p.Compute(int64(in.Val))
+	case IWB:
+		p.WB(r)
+	case IINV:
+		p.INV(r)
+	case IPublish:
+		switch {
+		case cfg.Adaptive:
+			p.WBCons(r, in.Peer)
+		case cfg.Ann.UseMEB:
+			p.WBAllMEB()
+		default:
+			p.WB(r)
+		}
+	case IInvalidate:
+		switch {
+		case cfg.Adaptive:
+			p.InvProd(r, in.Peer)
+		case cfg.Ann.UseIEB:
+			p.INVAllLazy()
+		default:
+			p.INV(r)
+		}
+	case ISpin:
+		for i := 0; i < in.N; i++ {
+			p.INV(r)
+			v := p.Load(a)
+			regs[in.Dst] = v
+			if v == in.Val {
+				break
+			}
+		}
+	case IAcquire:
+		p.Acquire(in.ID)
+	case IRelease:
+		p.Release(in.ID)
+	case IFlagSet:
+		p.FlagSet(in.ID, int64(in.Val))
+	case IFlagWait:
+		p.FlagWait(in.ID, int64(in.Val))
+	case ICSEnter:
+		p.CSEnter(in.ID)
+	case ICSExit:
+		p.CSExit(in.ID)
+	case INotifyFlag:
+		p.NotifyFlag(in.ID, int64(in.Val))
+	case IAwaitFlag:
+		p.AwaitFlag(in.ID, int64(in.Val))
+	case IBarrierSync:
+		p.BarrierSync(in.ID)
+	default:
+		panic(fmt.Sprintf("litmus: unknown instruction kind %v", in.Kind))
+	}
+}

@@ -1,0 +1,263 @@
+package litmus
+
+import "repro/internal/mem"
+
+// Variable and register conventions used throughout the suite: X (and Y)
+// are payload variables, F is a racy flag variable; r0 is the primary
+// observed register, r1 the secondary (prelude or flag) register.
+const (
+	vX VarID = 0
+	vY VarID = 1
+	vF VarID = 1
+)
+
+// regsOut builds a registers-only outcome; memOut a memory-only one.
+func regsOut(vals ...mem.Word) Outcome { return Outcome{Regs: vals} }
+func memOut(vals ...mem.Word) Outcome  { return Outcome{Mem: vals} }
+
+// Suite is the standard litmus table: the classic communication
+// patterns, each in an annotated variant (which must be violation-free
+// on every schedule) and, where a coherence annotation can be dropped,
+// deliberately under-annotated variants (which must expose their stale
+// read or lost update on at least one schedule, with the attribution
+// naming the side that omitted the annotation).
+var Suite = []Test{
+	{
+		Name: "mp-annotated",
+		Doc: "Message passing over a hardware flag: store payload, publish, " +
+			"set flag / wait flag, invalidate, load. The reader must always see the payload.",
+		Vars: 1, Regs: 1,
+		Threads: [][]Instr{
+			{Store(vX, 1), Publish(vX, 1), FlagSet(0, 1)},
+			{FlagWait(0, 1), Invalidate(vX, 0), Load(vX, 0)},
+		},
+		Allowed:  []Outcome{regsOut(1)},
+		Requires: []Outcome{regsOut(1)},
+		Expect:   ExpectNone,
+	},
+	{
+		Name: "mp-nowb",
+		Doc: "Message passing with the writer's publication dropped: the payload " +
+			"stays dirty in the writer's L1 and the reader always sees stale zero (missing-wb).",
+		Vars: 1, Regs: 1,
+		Threads: [][]Instr{
+			{Store(vX, 1), FlagSet(0, 1)},
+			{FlagWait(0, 1), Invalidate(vX, 0), Load(vX, 0)},
+		},
+		Allowed:  []Outcome{regsOut(0)},
+		Requires: []Outcome{regsOut(0)},
+		Expect:   ExpectMissingWB,
+	},
+	{
+		Name: "mp-noinv",
+		Doc: "Message passing with the reader's invalidation dropped: a prelude load " +
+			"caches stale zero, and schedules where it ran before the publication leave the " +
+			"post-wait load hitting that stale line (missing-inv). r1 is the prelude value.",
+		Vars: 1, Regs: 2,
+		Threads: [][]Instr{
+			{Store(vX, 1), Publish(vX, 1), FlagSet(0, 1)},
+			{Load(vX, 1), FlagWait(0, 1), Load(vX, 0)},
+		},
+		Allowed:  []Outcome{regsOut(0, 0), regsOut(1, 1)},
+		Requires: []Outcome{regsOut(0, 0), regsOut(1, 1)},
+		Expect:   ExpectMissingINV,
+	},
+	{
+		Name: "sb",
+		Doc: "Store buffering with full per-variable annotation. The in-order machine " +
+			"cannot produce the relaxed (0,0) outcome: each thread publishes before it reads.",
+		Vars: 2, Regs: 2,
+		Threads: [][]Instr{
+			{Store(vX, 1), WB(vX), INV(vY), Load(vY, 0)},
+			{Store(vY, 1), WB(vY), INV(vX), Load(vX, 1)},
+		},
+		Allowed:  []Outcome{regsOut(0, 1), regsOut(1, 0), regsOut(1, 1)},
+		Requires: []Outcome{regsOut(0, 1), regsOut(1, 0), regsOut(1, 1)},
+		Expect:   ExpectNone,
+	},
+	{
+		Name: "lb",
+		Doc: "Load buffering: loads precede the cross-stores. (1,1) would need each " +
+			"load to observe the other thread's later store — impossible in program order.",
+		Vars: 2, Regs: 2,
+		Threads: [][]Instr{
+			{Load(vY, 0), Store(vX, 1), WB(vX)},
+			{Load(vX, 1), Store(vY, 1), WB(vY)},
+		},
+		Allowed:  []Outcome{regsOut(0, 0), regsOut(0, 1), regsOut(1, 0)},
+		Requires: []Outcome{regsOut(0, 0), regsOut(0, 1), regsOut(1, 0)},
+		Expect:   ExpectNone,
+	},
+	{
+		Name: "corr",
+		Doc: "Coherent read-read: two self-invalidating reads of one variable may " +
+			"straddle the writer's publication but can never run backward (1 then 0).",
+		Vars: 1, Regs: 2,
+		Threads: [][]Instr{
+			{Store(vX, 1), WB(vX)},
+			{INV(vX), Load(vX, 0), INV(vX), Load(vX, 1)},
+		},
+		Allowed:  []Outcome{regsOut(0, 0), regsOut(0, 1), regsOut(1, 1)},
+		Requires: []Outcome{regsOut(0, 0), regsOut(0, 1), regsOut(1, 1)},
+		Expect:   ExpectNone,
+	},
+	{
+		Name: "coww",
+		Doc: "Coherent write-write: two published writes to one variable; the drained " +
+			"final value is whichever writeback landed second, never a merge artifact.",
+		Vars: 1, Regs: 0,
+		Threads: [][]Instr{
+			{Store(vX, 1), WB(vX)},
+			{Store(vX, 2), WB(vX)},
+		},
+		Final:    []VarID{vX},
+		Allowed:  []Outcome{memOut(1), memOut(2)},
+		Requires: []Outcome{memOut(1), memOut(2)},
+		Expect:   ExpectNone,
+	},
+	{
+		Name: "barrier",
+		Doc: "Cross publication over an annotated barrier: both threads must observe " +
+			"each other's pre-barrier store on every schedule.",
+		Vars: 2, Regs: 2,
+		Threads: [][]Instr{
+			{Store(vX, 4), BarrierSync(0), Load(vY, 0)},
+			{Store(vY, 6), BarrierSync(0), Load(vX, 1)},
+		},
+		Allowed:  []Outcome{regsOut(6, 4)},
+		Requires: []Outcome{regsOut(6, 4)},
+		Expect:   ExpectNone,
+	},
+	{
+		Name: "lock-annotated",
+		Doc: "Lock-based publication through the annotated critical-section protocol: " +
+			"the reader sees the write iff it locked second.",
+		Vars: 1, Regs: 1,
+		Threads: [][]Instr{
+			{CSEnter(0), Store(vX, 5), CSExit(0)},
+			{CSEnter(0), Load(vX, 0), CSExit(0)},
+		},
+		Allowed:  []Outcome{regsOut(0), regsOut(5)},
+		Requires: []Outcome{regsOut(0), regsOut(5)},
+		Expect:   ExpectNone,
+	},
+	{
+		Name: "lock-nowb",
+		Doc: "Raw lock with the writer's writeback dropped: when the reader locks " +
+			"second, the release->acquire edge orders the write but the bits never moved (missing-wb).",
+		Vars: 1, Regs: 1,
+		Threads: [][]Instr{
+			{Acquire(0), Store(vX, 5), Release(0)},
+			{Acquire(0), INV(vX), Load(vX, 0), Release(0)},
+		},
+		Allowed:  []Outcome{regsOut(0)},
+		Requires: []Outcome{regsOut(0)},
+		Expect:   ExpectMissingWB,
+	},
+	{
+		Name: "lock-noinv",
+		Doc: "Raw lock with the reader's invalidation dropped: a prelude load caches " +
+			"stale zero; locking second then re-reads the stale line (missing-inv). r1 is the prelude.",
+		Vars: 1, Regs: 2,
+		Threads: [][]Instr{
+			{Acquire(0), Store(vX, 5), WB(vX), Release(0)},
+			{Load(vX, 1), Acquire(0), Load(vX, 0), Release(0)},
+		},
+		Allowed:  []Outcome{regsOut(0, 0), regsOut(5, 5)},
+		Requires: []Outcome{regsOut(0, 0), regsOut(5, 5)},
+		Expect:   ExpectMissingINV,
+	},
+	{
+		Name: "lock-lostupdate",
+		Doc: "Two locked writers, the second one blind (no writeback): when it locks " +
+			"first, its unpublished dirty word outlives the other writer's publication and " +
+			"clobbers it at drain time (lost-update).",
+		Vars: 1, Regs: 0,
+		Threads: [][]Instr{
+			{Acquire(0), Store(vX, 9), WB(vX), Release(0)},
+			{Acquire(0), Store(vX, 7), Release(0)},
+		},
+		Final:    []VarID{vX},
+		Allowed:  []Outcome{memOut(7)},
+		Requires: []Outcome{memOut(7)},
+		Expect:   ExpectLostUpdate,
+	},
+	{
+		Name: "flag-annotated",
+		Doc: "Flag publication through the annotated notify/await protocol: the " +
+			"reader always sees the payload.",
+		Vars: 1, Regs: 1,
+		Threads: [][]Instr{
+			{Store(vX, 3), NotifyFlag(0, 1)},
+			{AwaitFlag(0, 1), Load(vX, 0)},
+		},
+		Allowed:  []Outcome{regsOut(3)},
+		Requires: []Outcome{regsOut(3)},
+		Expect:   ExpectNone,
+	},
+	{
+		Name: "flag-nowb",
+		Doc: "Flag publication with a raw set (no writeback): the ordered reader " +
+			"always sees stale zero (missing-wb).",
+		Vars: 1, Regs: 1,
+		Threads: [][]Instr{
+			{Store(vX, 3), FlagSet(0, 1)},
+			{AwaitFlag(0, 1), Load(vX, 0)},
+		},
+		Allowed:  []Outcome{regsOut(0)},
+		Requires: []Outcome{regsOut(0)},
+		Expect:   ExpectMissingWB,
+	},
+	{
+		Name: "flag-noinv",
+		Doc: "Flag publication with a raw wait (no invalidation): a prelude load " +
+			"caches stale zero that the post-wait load re-reads (missing-inv). r1 is the prelude.",
+		Vars: 1, Regs: 2,
+		Threads: [][]Instr{
+			{Store(vX, 3), NotifyFlag(0, 1)},
+			{Load(vX, 1), FlagWait(0, 1), Load(vX, 0)},
+		},
+		Allowed:  []Outcome{regsOut(0, 0), regsOut(3, 3)},
+		Requires: []Outcome{regsOut(0, 0), regsOut(3, 3)},
+		Expect:   ExpectMissingINV,
+	},
+	{
+		Name: "race-annotated",
+		Doc: "Figure 6b's enforced data race: payload and flag published per-variable, " +
+			"the reader spins with self-invalidating probes. A successful spin implies the payload. " +
+			"r0 is the payload, r1 the last flag probe.",
+		Vars: 2, Regs: 2,
+		Threads: [][]Instr{
+			{Store(vX, 9), WB(vX), Store(vF, 1), WB(vF)},
+			{Spin(vF, 1, 2, 1), INV(vX), Load(vX, 0)},
+		},
+		Allowed:  []Outcome{regsOut(9, 1), regsOut(0, 0), regsOut(9, 0)},
+		Requires: []Outcome{regsOut(9, 1), regsOut(0, 0)},
+		Expect:   ExpectNone,
+	},
+	{
+		Name: "race-nowb-payload",
+		Doc: "Figure 6b with the payload writeback dropped: the flag is published but " +
+			"the payload is not, so a successful spin observes zero payload — an outcome outside " +
+			"the message-passing contract. The oracle deliberately skips these racy reads; the " +
+			"declared allowed set is what catches the bug.",
+		Vars: 2, Regs: 2,
+		Threads: [][]Instr{
+			{Store(vX, 9), Store(vF, 1), WB(vF)},
+			{Spin(vF, 1, 2, 1), INV(vX), Load(vX, 0)},
+		},
+		Allowed:  []Outcome{regsOut(9, 1), regsOut(0, 0), regsOut(9, 0)},
+		Requires: []Outcome{regsOut(0, 1)},
+		Expect:   ExpectForbidden,
+	},
+}
+
+// SuiteTest returns the suite entry with the given name.
+func SuiteTest(name string) (Test, bool) {
+	for _, t := range Suite {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Test{}, false
+}

@@ -365,13 +365,8 @@ func (o *Oracle) load(ev engine.Event) {
 		return
 	}
 	got := ev.Value
-	if got == ws.wr.val {
+	if legalHere(ws, got) {
 		return
-	}
-	for _, e := range ws.conc {
-		if got == e.val {
-			return
-		}
 	}
 	if o.reported[a] {
 		return
@@ -535,17 +530,7 @@ func (o *Oracle) CheckFinal(m *mem.Memory) {
 			continue
 		}
 		got := m.ReadWord(a)
-		if got == ws.wr.val {
-			continue
-		}
-		legal := false
-		for _, e := range ws.conc {
-			if got == e.val {
-				legal = true
-				break
-			}
-		}
-		if legal {
+		if legalHere(ws, got) {
 			continue
 		}
 		o.reported[a] = true

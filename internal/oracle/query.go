@@ -1,0 +1,75 @@
+package oracle
+
+import "repro/internal/mem"
+
+// This file is the oracle's query API: the same legal-value sets the
+// event-driven checks (load, CheckFinal) enforce, exposed so external
+// harnesses — the litmus explorer in particular — can ask "what may
+// thread t read here?" or "what may drained memory hold here?" without
+// re-deriving happens-before.
+
+// legalHere reports whether got is in the word's legal read set: the
+// last happens-before-ordered write's value or any still-concurrent
+// write's value. Allocation-free; shared by the hot-path load check,
+// CheckFinal, and the public queries.
+func legalHere(ws *wordState, got mem.Word) bool {
+	if got == ws.wr.val {
+		return true
+	}
+	for _, e := range ws.conc {
+		if got == e.val {
+			return true
+		}
+	}
+	return false
+}
+
+// values materializes the word's legal value set (deduplicated, last
+// write first).
+func values(ws *wordState) []mem.Word {
+	vals := make([]mem.Word, 0, 1+len(ws.conc))
+	vals = append(vals, ws.wr.val)
+	for _, e := range ws.conc {
+		dup := false
+		for _, v := range vals {
+			if v == e.val {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			vals = append(vals, e.val)
+		}
+	}
+	return vals
+}
+
+// LegalValues returns the set of values thread t may legally load from
+// the word at a, as of the oracle's current event position. ok=false
+// means the read is unconstrained: the word was never written this run,
+// its race degree overflowed the tracker, or the last write is racy
+// with respect to t (both old and new values are legal) — exactly the
+// cases the oracle declines to check.
+func (o *Oracle) LegalValues(t int, a mem.Addr) ([]mem.Word, bool) {
+	ws := o.words[mem.WordAddr(a)]
+	if ws == nil || ws.unchecked || ws.wr.thread < 0 {
+		return nil, false
+	}
+	if t < 0 || t >= o.n || o.vc[t][ws.wr.thread] < ws.wr.clock {
+		return nil, false
+	}
+	return values(ws), true
+}
+
+// FinalValues returns the set of values drained memory may legally hold
+// at the word at a: the last write in happens-before order or any write
+// concurrent with it. ok=false means the word is unconstrained (never
+// written or unchecked). Meaningful once the run has completed; this is
+// the set CheckFinal enforces.
+func (o *Oracle) FinalValues(a mem.Addr) ([]mem.Word, bool) {
+	ws := o.words[mem.WordAddr(a)]
+	if ws == nil || ws.unchecked || ws.wr.thread < 0 {
+		return nil, false
+	}
+	return values(ws), true
+}

@@ -1,0 +1,107 @@
+package oracle
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestLegalValuesUnwritten(t *testing.T) {
+	o := New(2)
+	if vals, ok := o.LegalValues(0, 0x100); ok || vals != nil {
+		t.Errorf("unwritten word constrained: %v, %v", vals, ok)
+	}
+	if vals, ok := o.FinalValues(0x100); ok || vals != nil {
+		t.Errorf("unwritten word has final constraint: %v, %v", vals, ok)
+	}
+}
+
+func TestLegalValuesRespectHappensBefore(t *testing.T) {
+	o := New(2)
+	store(o, 0, 0x100, 7)
+	// Writer sees its own write.
+	if vals, ok := o.LegalValues(0, 0x100); !ok || !reflect.DeepEqual(vals, []mem.Word{7}) {
+		t.Errorf("writer's own view = %v, %v, want [7]", vals, ok)
+	}
+	// Thread 1 has no edge from the write: unconstrained.
+	if _, ok := o.LegalValues(1, 0x100); ok {
+		t.Error("racy read constrained")
+	}
+	// After a publishing sync edge, thread 1 is pinned to 7.
+	flagSet(o, 0, 3)
+	flagWaitDone(o, 1, 3)
+	if vals, ok := o.LegalValues(1, 0x100); !ok || !reflect.DeepEqual(vals, []mem.Word{7}) {
+		t.Errorf("ordered view = %v, %v, want [7]", vals, ok)
+	}
+	// Word addressing: any byte of the word maps to the same answer.
+	if vals, ok := o.LegalValues(1, 0x102); !ok || !reflect.DeepEqual(vals, []mem.Word{7}) {
+		t.Errorf("mid-word query = %v, %v, want [7]", vals, ok)
+	}
+}
+
+func TestLegalValuesConcurrentWritesAndDedup(t *testing.T) {
+	o := New(3)
+	store(o, 0, 0x200, 1)
+	store(o, 1, 0x200, 2) // concurrent with thread 0's write
+	store(o, 2, 0x240, 9)
+	flagSet(o, 0, 0)
+	flagSet(o, 1, 1)
+	flagWaitDone(o, 2, 0)
+	flagWaitDone(o, 2, 1)
+	vals, ok := o.LegalValues(2, 0x200)
+	if !ok {
+		t.Fatal("ordered-after-both read unconstrained")
+	}
+	want := map[mem.Word]bool{1: true, 2: true}
+	if len(vals) != 2 || !want[vals[0]] || !want[vals[1]] {
+		t.Errorf("legal set = %v, want {1,2}", vals)
+	}
+	// Final values mirror the read set for the last writer's view.
+	fvals, ok := o.FinalValues(0x200)
+	if !ok || len(fvals) != 2 {
+		t.Errorf("final set = %v, %v, want two values", fvals, ok)
+	}
+	// A duplicated concurrent value collapses.
+	store(o, 0, 0x300, 5)
+	store(o, 1, 0x300, 5)
+	if fv, ok := o.FinalValues(0x300); !ok || !reflect.DeepEqual(fv, []mem.Word{5}) {
+		t.Errorf("duplicate values not collapsed: %v, %v", fv, ok)
+	}
+}
+
+func TestQueriesAgreeWithChecks(t *testing.T) {
+	// The query API and the event-driven check must agree: a value outside
+	// LegalValues is exactly what load() flags.
+	o := New(2)
+	store(o, 0, 0x100, 7)
+	wbRange(o, 0, mem.WordRange(0x100, 1))
+	flagSet(o, 0, 3)
+	flagWaitDone(o, 1, 3)
+	vals, ok := o.LegalValues(1, 0x100)
+	if !ok {
+		t.Fatal("ordered read unconstrained")
+	}
+	legal := map[mem.Word]bool{}
+	for _, v := range vals {
+		legal[v] = true
+	}
+	if legal[0] {
+		t.Fatal("stale 0 in legal set")
+	}
+	loadEv(o, 1, 0x100, 0)
+	if o.Total() != 1 {
+		t.Errorf("value outside LegalValues not flagged by load: total=%d", o.Total())
+	}
+}
+
+func TestLegalValuesBadThread(t *testing.T) {
+	o := New(2)
+	store(o, 0, 0x100, 7)
+	if _, ok := o.LegalValues(-1, 0x100); ok {
+		t.Error("negative thread constrained")
+	}
+	if _, ok := o.LegalValues(5, 0x100); ok {
+		t.Error("out-of-range thread constrained")
+	}
+}

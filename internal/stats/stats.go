@@ -171,13 +171,24 @@ type Bar struct {
 	Segments []float64
 }
 
-// Height returns the bar's total height.
+// Height returns the bar's total height. Non-finite segments (NaN or
+// ±Inf, e.g. from a normalization against a zero baseline) count as
+// zero, so one bad cell cannot poison a figure's totals or scaling.
 func (b Bar) Height() float64 {
 	var h float64
 	for _, s := range b.Segments {
-		h += s
+		h += finite(s)
 	}
 	return h
+}
+
+// finite maps NaN and ±Inf to zero; every renderer and aggregate in
+// this package reads segment values through it.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 // Figure is a printable reproduction of one of the paper's normalized
@@ -209,7 +220,7 @@ func (f *Figure) Render() string {
 		for _, bar := range g.Bars {
 			fmt.Fprintf(&b, "%-16s %-10s", g.Name, bar.Label)
 			for _, s := range bar.Segments {
-				fmt.Fprintf(&b, " %10.3f", s)
+				fmt.Fprintf(&b, " %10.3f", finite(s))
 			}
 			fmt.Fprintf(&b, " %10.3f\n", bar.Height())
 		}
@@ -299,7 +310,7 @@ func (f *Figure) RenderBars(width int) string {
 		for _, bar := range g.Bars {
 			fmt.Fprintf(&b, "  %-8s ", bar.Label)
 			for i, s := range bar.Segments {
-				n := int(s / maxH * float64(width))
+				n := int(finite(s) / maxH * float64(width))
 				mark := byte('#')
 				if i < len(marks) {
 					mark = marks[i]
