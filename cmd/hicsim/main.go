@@ -6,7 +6,8 @@
 // Usage:
 //
 //	hicsim [-scale test|bench] [-parallel N] [-timeout D] [-json] [-timing] [-check]
-//	       [-check-coherence] [-faults matrix|PLAN] [-cpuprofile F] [-memprofile F]
+//	       [-check-coherence] [-faults matrix|PLAN] [-metrics] [-trace-chrome F]
+//	       [-schema v1|v2] [-cpuprofile F] [-memprofile F]
 //
 // Runs fan out across -parallel workers (default GOMAXPROCS); results are
 // identical to a serial sweep. -timeout bounds each individual run; a run
@@ -26,16 +27,25 @@
 // outcome.
 //
 // With -json the figures and per-run metrics are emitted as a single
-// machine-readable document on stdout (schema hic-results/v1) instead of
-// the text report; Table I and the storage report are text-only. The
-// JSON is canonical — byte-identical for serial and parallel runs —
-// unless -timing adds host wall times. With -check the paper's expected
+// machine-readable document on stdout (schema hic/v2, kind "results";
+// -schema v1 selects the legacy hic-results/v1 layout) instead of the
+// text report; Table I and the storage report are text-only. The JSON is
+// canonical — byte-identical for serial and parallel runs — unless
+// -timing adds host wall times. With -check the paper's expected
 // config-vs-config orderings (DESIGN.md §4) are evaluated against the
 // results and the command exits nonzero on any violation; this is the
 // gate CI runs.
 //
+// -metrics attaches the observability layer to every run and embeds each
+// cell's deterministic snapshot (cache/MEB/IEB counters, NoC histograms,
+// stall-cycle totals) in its JSON run record. -trace-chrome writes the
+// sweep's per-core stall timelines as a Chrome trace_event file, one
+// process per cell, viewable in Perfetto or chrome://tracing.
+//
 // -cpuprofile and -memprofile write pprof profiles of the sweep (see
-// DESIGN.md "Performance" for the profiling workflow).
+// DESIGN.md "Performance" for the profiling workflow); sweep goroutines
+// are labeled workload/config, so `go tool pprof -tags` attributes
+// samples to experiment cells.
 package main
 
 import (
@@ -44,11 +54,10 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"time"
 
 	hic "repro"
+	"repro/internal/cli"
 	"repro/internal/runner"
 	"repro/internal/shapecheck"
 )
@@ -56,56 +65,22 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hicsim: ")
-	scale := flag.String("scale", "bench", "problem scale: test or bench")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the experiment sweeps")
-	timeout := flag.Duration("timeout", 0, "per-run timeout (0 = none)")
-	jsonOut := flag.Bool("json", false, "emit results as a machine-readable JSON document on stdout")
-	timing := flag.Bool("timing", false, "include host wall times in -json output (not deterministic)")
-	check := flag.Bool("check", false, "verify the paper's expected orderings; exit nonzero on violation")
-	checkCoherence := flag.Bool("check-coherence", false, "attach the coherence oracle to every run")
-	faults := flag.String("faults", "", `run the buggy-annotation experiment: "matrix" or a fault plan`)
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	f := cli.Register(flag.CommandLine, cli.SweepFlags)
 	flag.Parse()
+	if err := f.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	s, err := f.ScaleValue()
+	if err != nil {
+		log.Fatal(err)
+	}
+	stopProfiles := f.StartProfiles()
+	defer stopProfiles()
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
-		}
-		defer pprof.StopCPUProfile()
-	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatal(err)
-			}
-		}()
-	}
-
-	s := hic.ScaleBench
-	if *scale == "test" {
-		s = hic.ScaleTest
-	} else if *scale != "bench" {
-		log.Fatalf("unknown scale %q", *scale)
-	}
-	opts := hic.RunOptions{Parallel: *parallel, Timeout: *timeout, CheckCoherence: *checkCoherence}
+	opts := f.RunOptions()
 	ctx := context.Background()
 
-	if *faults != "" {
-		if *faults != "matrix" {
-			opts.Faults = *faults
-		}
+	if f.Faults != "" {
 		rep, err := hic.RunBuggyAnnotation(ctx, s, opts)
 		if rep != nil {
 			fmt.Print(rep.Render())
@@ -116,25 +91,24 @@ func main() {
 		return
 	}
 
-	if *jsonOut || *check {
+	if f.JSON || f.Check || f.Tracing() {
 		intra, intraErr := hic.RunIntraBlockOpts(ctx, s, opts)
 		inter, interErr := hic.RunInterBlockOpts(ctx, s, opts)
 		doc := runner.Merge(intra.Document(s), inter.Document(s))
-		if *jsonOut {
-			encode := doc.Encode
-			if *timing {
-				encode = doc.EncodeTiming
-			}
-			if err := encode(os.Stdout); err != nil {
+		if f.JSON {
+			if err := f.EncodeDoc(os.Stdout, doc); err != nil {
 				log.Fatal(err)
 			}
+		}
+		if err := f.WriteTraces(append(intra.Traces, inter.Traces...)); err != nil {
+			log.Fatal(err)
 		}
 		for _, err := range []error{intraErr, interErr} {
 			if err != nil {
 				log.Print(err)
 			}
 		}
-		if *check {
+		if f.Check {
 			vs := shapecheck.Check(doc)
 			fmt.Fprint(os.Stderr, shapecheck.Render(vs))
 			if len(vs) > 0 {

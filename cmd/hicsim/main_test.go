@@ -7,11 +7,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -43,8 +46,8 @@ func TestHicsimFlagPlumbing(t *testing.T) {
 		if err != nil {
 			t.Fatalf("decoding -json output: %v", err)
 		}
-		if doc.Schema != runner.SchemaVersion {
-			t.Errorf("schema %q, want %q", doc.Schema, runner.SchemaVersion)
+		if doc.Schema != runner.SchemaV2 || doc.Kind != runner.KindResults {
+			t.Errorf("schema/kind = %q/%q, want %q/%q", doc.Schema, doc.Kind, runner.SchemaV2, runner.KindResults)
 		}
 		if doc.Scale != "test" || doc.Suite != "all" {
 			t.Errorf("scale/suite = %s/%s, want test/all", doc.Scale, doc.Suite)
@@ -56,6 +59,72 @@ func TestHicsimFlagPlumbing(t *testing.T) {
 			if r.Error != "" {
 				t.Errorf("%s/%s failed under the oracle: [%s] %s", r.Workload, r.Config, r.ErrorKind, r.Error)
 			}
+		}
+	})
+
+	t.Run("schema-v1-compat", func(t *testing.T) {
+		cmd := exec.Command(bin, "-scale", "test", "-parallel", "4", "-json", "-metrics", "-schema", "v1")
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("hicsim: %v\nstderr:\n%s", err, stderr.String())
+		}
+		doc, err := runner.Decode(&stdout)
+		if err != nil {
+			t.Fatalf("decoding -json output: %v", err)
+		}
+		if doc.Schema != runner.SchemaVersion || doc.Kind != "" {
+			t.Errorf("schema/kind = %q/%q, want %q with no kind", doc.Schema, doc.Kind, runner.SchemaVersion)
+		}
+		// The v1 layout predates per-run metrics: the compatibility
+		// writer must strip them even when -metrics recorded them.
+		for _, r := range doc.Runs {
+			if r.Metrics != nil {
+				t.Errorf("%s/%s: v1 document carries a metrics snapshot", r.Workload, r.Config)
+			}
+		}
+	})
+
+	t.Run("metrics-and-trace-chrome", func(t *testing.T) {
+		trace := filepath.Join(t.TempDir(), "trace.json")
+		cmd := exec.Command(bin, "-scale", "test", "-parallel", "4", "-json", "-metrics", "-trace-chrome", trace)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("hicsim: %v\nstderr:\n%s", err, stderr.String())
+		}
+		doc, err := runner.Decode(&stdout)
+		if err != nil {
+			t.Fatalf("decoding -json output: %v", err)
+		}
+		for _, r := range doc.Runs {
+			if r.Metrics == nil {
+				t.Errorf("%s/%s: no metrics snapshot in run record", r.Workload, r.Config)
+				continue
+			}
+			if r.Metrics.Schema != obs.MetricsSchema {
+				t.Errorf("%s/%s: metrics schema %q", r.Workload, r.Config, r.Metrics.Schema)
+			}
+			if len(r.Metrics.StallCycles) == 0 && r.Cycles > 0 {
+				t.Errorf("%s/%s: metrics snapshot has no stall cycles", r.Workload, r.Config)
+			}
+		}
+		raw, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatalf("reading -trace-chrome output: %v", err)
+		}
+		var tf struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+			OtherData   map[string]any   `json:"otherData"`
+		}
+		if err := json.Unmarshal(raw, &tf); err != nil {
+			t.Fatalf("-trace-chrome output is not valid JSON: %v", err)
+		}
+		if len(tf.TraceEvents) == 0 {
+			t.Fatal("-trace-chrome output has no trace events")
+		}
+		if tf.OtherData["timestamp_unit"] != "cycles" {
+			t.Errorf("otherData = %v, want timestamp_unit=cycles", tf.OtherData)
 		}
 	})
 

@@ -5,14 +5,18 @@
 // Usage:
 //
 //	interblock [-scale test|bench] [-counts] [-parallel N] [-timeout D] [-json] [-timing]
-//	           [-check-coherence]
+//	           [-check-coherence] [-metrics] [-trace-chrome F] [-schema v1|v2]
+//	           [-cpuprofile F] [-memprofile F]
 //
 // Runs fan out across -parallel workers (default GOMAXPROCS) with results
 // identical to a serial sweep; -timeout bounds each individual run. With
-// -json the result is a machine-readable document on stdout (canonical
-// unless -timing adds host wall times). -check-coherence attaches the
-// shadow-memory coherence oracle to every run; a violation fails the
-// cell with a labeled coherence error.
+// -json the result is a machine-readable document on stdout (schema
+// hic/v2; -schema v1 selects the legacy layout; canonical unless -timing
+// adds host wall times). -check-coherence attaches the shadow-memory
+// coherence oracle to every run; a violation fails the cell with a
+// labeled coherence error. -metrics embeds per-run observability
+// snapshots in the JSON records; -trace-chrome writes the sweep's stall
+// timelines as a Chrome trace_event file (open in Perfetto).
 package main
 
 import (
@@ -21,46 +25,40 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 
 	hic "repro"
+	"repro/internal/cli"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("interblock: ")
-	scale := flag.String("scale", "bench", "problem scale: test or bench")
+	f := cli.Register(flag.CommandLine, cli.FigureFlags)
 	countsOnly := flag.Bool("counts", false, "print only Figure 11 (global WB/INV counts)")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the sweep")
-	timeout := flag.Duration("timeout", 0, "per-run timeout (0 = none)")
-	jsonOut := flag.Bool("json", false, "emit results as a machine-readable JSON document on stdout")
-	timing := flag.Bool("timing", false, "include host wall times in -json output (not deterministic)")
-	checkCoherence := flag.Bool("check-coherence", false, "attach the coherence oracle to every run")
 	flag.Parse()
-
-	s := hic.ScaleBench
-	if *scale == "test" {
-		s = hic.ScaleTest
-	} else if *scale != "bench" {
-		log.Fatalf("unknown scale %q", *scale)
+	if err := f.Validate(); err != nil {
+		log.Fatal(err)
 	}
+	s, err := f.ScaleValue()
+	if err != nil {
+		log.Fatal(err)
+	}
+	stopProfiles := f.StartProfiles()
+	defer stopProfiles()
 
-	opts := hic.RunOptions{Parallel: *parallel, Timeout: *timeout, CheckCoherence: *checkCoherence}
-	res, err := hic.RunInterBlockOpts(context.Background(), s, opts)
-	if *jsonOut {
-		doc := res.Document(s)
-		encode := doc.Encode
-		if *timing {
-			encode = doc.EncodeTiming
-		}
-		if encErr := encode(os.Stdout); encErr != nil {
+	res, err := hic.RunInter(context.Background(), s, f.Options()...)
+	if f.JSON {
+		if encErr := f.EncodeDoc(os.Stdout, res.Document(s)); encErr != nil {
 			log.Fatal(encErr)
 		}
+	}
+	if traceErr := f.WriteTraces(res.Traces); traceErr != nil {
+		log.Fatal(traceErr)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *jsonOut {
+	if f.JSON {
 		return
 	}
 	fmt.Println(res.Figure11.Render())

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	litmus [-test NAME] [-config NAME] [-budget N] [-max-schedules N] [-json] [-v]
+//	litmus [-test NAME] [-config NAME] [-budget N] [-max-schedules N] [-json]
+//	       [-schema v1|v2] [-v]
 //
 // By default every suite test runs under every configuration (Base,
 // B+M+I, Adaptive) and one verdict line is printed per pair; -v adds
@@ -16,8 +17,9 @@
 // whose bug no schedule exposed (or exposed with the wrong
 // attribution), or a non-exhaustive exploration.
 //
-// With -json a single machine-readable document (schema hic-litmus/v1)
-// is emitted on stdout instead of the text report. The document is
+// With -json a single machine-readable document (schema hic/v2, kind
+// "litmus"; -schema v1 selects the legacy hic-litmus/v1 layout) is
+// emitted on stdout instead of the text report. The document is
 // canonical: fixed key order, sorted outcome maps, no timestamps —
 // byte-identical across runs.
 package main
@@ -29,10 +31,12 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/litmus"
+	"repro/internal/runner"
 )
 
-// SchemaVersion identifies the -json document layout.
+// SchemaVersion identifies the legacy (-schema v1) document layout.
 const SchemaVersion = "hic-litmus/v1"
 
 // Result pairs one exploration's verdict with its full report.
@@ -42,9 +46,11 @@ type Result struct {
 }
 
 // Document is the -json output: the whole run, in suite-then-config
-// order.
+// order. The default envelope is hic/v2 with kind "litmus"; -schema v1
+// emits SchemaVersion with no kind.
 type Document struct {
 	Schema  string   `json:"schema"`
+	Kind    string   `json:"kind,omitempty"`
 	Budget  int      `json:"budget"`
 	Results []Result `json:"results"`
 }
@@ -52,13 +58,16 @@ type Document struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("litmus: ")
+	f := cli.Register(flag.CommandLine, cli.JSONFlags)
 	testName := flag.String("test", "", "run only the named suite test")
 	cfgName := flag.String("config", "", "run only the named configuration (Base, B+M+I, Adaptive)")
 	budget := flag.Int("budget", 0, "per-schedule step budget (0 = default)")
 	maxSched := flag.Int("max-schedules", 0, "total schedule cap per exploration (0 = default)")
-	jsonOut := flag.Bool("json", false, "emit results as a machine-readable JSON document on stdout")
 	verbose := flag.Bool("v", false, "print exploration statistics and outcome histograms")
 	flag.Parse()
+	if err := f.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	tests := litmus.Suite
 	if *testName != "" {
@@ -78,7 +87,10 @@ func main() {
 	}
 	opts := litmus.Options{Budget: *budget, MaxSchedules: *maxSched}
 
-	doc := Document{Schema: SchemaVersion, Budget: opts.Budget}
+	doc := Document{Schema: runner.SchemaV2, Kind: runner.KindLitmus, Budget: opts.Budget}
+	if f.SchemaV1() {
+		doc.Schema, doc.Kind = SchemaVersion, ""
+	}
 	failed := false
 	for _, t := range tests {
 		for _, cfg := range configs {
@@ -90,7 +102,7 @@ func main() {
 			if !v.OK {
 				failed = true
 			}
-			if !*jsonOut {
+			if !f.JSON {
 				fmt.Println(v)
 				if *verbose {
 					fmt.Printf("  %d schedules, %d pruned, %d dead ends, %d violation schedule(s)\n",
@@ -107,7 +119,7 @@ func main() {
 		}
 	}
 
-	if *jsonOut {
+	if f.JSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {

@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/runner"
 )
 
 func buildLitmus(t *testing.T) string {
@@ -57,8 +59,8 @@ func TestLitmusCLI(t *testing.T) {
 		if err := json.Unmarshal(a, &doc); err != nil {
 			t.Fatalf("decoding -json output: %v", err)
 		}
-		if doc.Schema != SchemaVersion {
-			t.Errorf("schema %q, want %q", doc.Schema, SchemaVersion)
+		if doc.Schema != runner.SchemaV2 || doc.Kind != runner.KindLitmus {
+			t.Errorf("schema/kind = %q/%q, want %q/%q", doc.Schema, doc.Kind, runner.SchemaV2, runner.KindLitmus)
 		}
 		if len(doc.Results) == 0 {
 			t.Fatal("no results")
@@ -70,6 +72,20 @@ func TestLitmusCLI(t *testing.T) {
 			if r.Report.Schedules == 0 {
 				t.Errorf("%s/%s: zero schedules", r.Report.Test, r.Report.Config)
 			}
+		}
+	})
+
+	t.Run("schema-v1-compat", func(t *testing.T) {
+		out, err := exec.Command(bin, "-json", "-schema", "v1", "-test", "sb", "-config", "Base").Output()
+		if err != nil {
+			t.Fatalf("litmus -json -schema v1: %v", err)
+		}
+		var doc Document
+		if err := json.Unmarshal(out, &doc); err != nil {
+			t.Fatalf("decoding -json output: %v", err)
+		}
+		if doc.Schema != SchemaVersion || doc.Kind != "" {
+			t.Errorf("schema/kind = %q/%q, want %q with no kind", doc.Schema, doc.Kind, SchemaVersion)
 		}
 	})
 

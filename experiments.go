@@ -15,6 +15,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/faultinject"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -97,6 +98,21 @@ type RunOptions struct {
 	// are skipped. A non-empty plan implies the oracle, so injected
 	// faults are detected and attributed.
 	Faults string
+	// Metrics attaches an observability recorder (internal/obs) to every
+	// run and embeds its deterministic snapshot in the cell's RunRecord:
+	// cache hit/miss/eviction counters, MEB/IEB events and occupancy
+	// high-water marks, NoC latency histograms, and per-kind stall-cycle
+	// totals that reconcile exactly with the result's Stalls breakdown.
+	Metrics bool
+	// Trace additionally retains the bounded per-core stall-span timeline
+	// and occupancy sample tracks for Chrome trace_event export (implies
+	// the same recorder as Metrics; snapshots are embedded only when
+	// Metrics is also set).
+	Trace bool
+	// Observer, when non-nil, is called with each cell's recorder after
+	// its run completes (successfully or not), before snapshots are
+	// taken for the outcome. Setting it alone also enables recording.
+	Observer func(workload, config string, rec *obs.Recorder)
 }
 
 // Workers returns the effective worker count for n tasks.
@@ -132,6 +148,61 @@ func (o RunOptions) checks(h engine.Hierarchy, threads int) (*oracle.Oracle, *fa
 	return orc, st, nil
 }
 
+// recording reports whether the options ask for any observability.
+func (o RunOptions) recording() bool {
+	return o.Metrics || o.Trace || o.Observer != nil
+}
+
+// instrument builds the cell's recorder per the options and attaches it
+// to the hierarchy's components; nil when observability is off.
+// Metrics-only cells keep exact totals and high-water marks but store
+// no timelines (negative caps); tracing buys the bounded rings.
+func (o RunOptions) instrument(h engine.Hierarchy) *obs.Recorder {
+	if !o.recording() {
+		return nil
+	}
+	cfg := obs.Config{SpanCap: -1, TrackCap: -1}
+	if o.Trace {
+		cfg = obs.Config{}
+	}
+	rec := obs.New(cfg)
+	obs.Attach(h, rec)
+	return rec
+}
+
+// finish fires the Observer callback and captures the cell's snapshot
+// and timeline into the outcome (nil out on a failed run: the callback
+// still sees the recorder, the outcome captures nothing).
+func (o RunOptions) finish(workload, config string, rec *obs.Recorder, out *runner.Outcome) {
+	if rec == nil {
+		return
+	}
+	if o.Observer != nil {
+		o.Observer(workload, config, rec)
+	}
+	if out == nil {
+		return
+	}
+	if o.Metrics {
+		out.Metrics = rec.Snapshot()
+	}
+	if o.Trace {
+		out.Trace = rec.TraceData()
+	}
+}
+
+// cellTraces gathers the retained timelines of a traced sweep in task
+// order, labeled for Chrome export.
+func cellTraces(grid *runner.Grid) []obs.CellTrace {
+	var traces []obs.CellTrace
+	for _, c := range grid.Cells() {
+		if c.Outcome != nil && c.Outcome.Trace != nil {
+			traces = append(traces, obs.CellTrace{Workload: c.Workload, Config: c.Config, Trace: c.Outcome.Trace})
+		}
+	}
+	return traces
+}
+
 // DefaultRunOptions fans runs out across GOMAXPROCS workers with no
 // per-run timeout. Results are identical to a serial sweep: every run is
 // independent and assembly is keyed, not order-dependent.
@@ -154,6 +225,10 @@ type IntraResult struct {
 	Raw map[string]map[string]*Result
 	// Runs holds one record per run in sweep order (errors included).
 	Runs []runner.RunRecord
+	// Traces holds each cell's retained stall timeline in sweep order
+	// when the sweep ran with RunOptions.Trace (empty otherwise); feed
+	// them to obs.WriteChrome.
+	Traces []obs.CellTrace
 }
 
 // intraTasks builds one task per (application, configuration) pair. Each
@@ -171,15 +246,19 @@ func intraTasks(s Scale, opts RunOptions) []runner.Task {
 				Run: func(ctx context.Context) (*runner.Outcome, error) {
 					wl := IntraWorkloads(s)[i]
 					h := NewHierarchy(NewIntraMachine(), cfg)
+					rec := opts.instrument(h)
 					orc, _, err := opts.checks(h, wl.Threads)
 					if err != nil {
 						return nil, err
 					}
-					r, err := wl.RunChecked(ctx, h, cfg, orc)
+					r, err := wl.RunObserved(ctx, h, cfg, orc, rec)
 					if err != nil {
+						opts.finish(wl.Name, cfg.Name, rec, nil)
 						return nil, err
 					}
-					return &runner.Outcome{Result: r}, nil
+					out := &runner.Outcome{Result: r}
+					opts.finish(wl.Name, cfg.Name, rec, out)
+					return out, nil
 				},
 			})
 		}
@@ -199,6 +278,9 @@ func RunIntraBlock(s Scale) (*IntraResult, error) {
 // the partial result: applications whose HCC baseline succeeded still get
 // their figure groups, and Runs records every cell including the failed
 // ones.
+//
+// Deprecated: new code should use RunIntra with functional options; this
+// positional variant remains for existing callers.
 func RunIntraBlockOpts(ctx context.Context, s Scale, opts RunOptions) (*IntraResult, error) {
 	grid := runner.Run(ctx, intraTasks(s, opts), opts.runner())
 	res := &IntraResult{
@@ -206,6 +288,7 @@ func RunIntraBlockOpts(ctx context.Context, s Scale, opts RunOptions) (*IntraRes
 		Figure10: &Figure{Title: "Figure 10: normalized traffic, HCC vs B+M+I (flits)", Categories: []string{"linefill", "writeback", "invalidation", "memory"}},
 		Raw:      make(map[string]map[string]*Result),
 		Runs:     grid.Records(),
+		Traces:   cellTraces(grid),
 	}
 	for _, w := range IntraWorkloads(s) {
 		res.Raw[w.Name] = make(map[string]*Result)
@@ -268,7 +351,8 @@ func RunIntraBlockOpts(ctx context.Context, s Scale, opts RunOptions) (*IntraRes
 // tooling.
 func (r *IntraResult) Document(s Scale) *runner.Document {
 	return &runner.Document{
-		Schema: runner.SchemaVersion,
+		Schema: runner.SchemaV2,
+		Kind:   runner.KindResults,
 		Scale:  s.Name(),
 		Suite:  "intra",
 		Figures: []runner.Figure{
@@ -292,6 +376,10 @@ type InterResult struct {
 	Raw map[string]map[string]*Result
 	// Runs holds one record per run in sweep order (errors included).
 	Runs []runner.RunRecord
+	// Traces holds each cell's retained stall timeline in sweep order
+	// when the sweep ran with RunOptions.Trace (empty otherwise); feed
+	// them to obs.WriteChrome.
+	Traces []obs.CellTrace
 }
 
 // interTasks builds one task per (application, mode) pair; global WB/INV
@@ -308,18 +396,21 @@ func interTasks(s Scale, opts RunOptions) []runner.Task {
 				Run: func(ctx context.Context) (*runner.Outcome, error) {
 					wl := InterWorkloads(s)[i]
 					h := NewModeHierarchy(NewInterMachine(), mode)
+					rec := opts.instrument(h)
 					orc, _, err := opts.checks(h, wl.Threads)
 					if err != nil {
 						return nil, err
 					}
-					r, err := wl.RunChecked(ctx, h, mode, orc)
+					r, err := wl.RunObserved(ctx, h, mode, orc, rec)
 					if err != nil {
+						opts.finish(wl.Name, mode.String(), rec, nil)
 						return nil, err
 					}
 					out := &runner.Outcome{Result: r}
 					if hi, ok := h.(*core.Hierarchy); ok {
 						out.GlobalWB, out.GlobalINV = hi.GlobalOps()
 					}
+					opts.finish(wl.Name, mode.String(), rec, out)
 					return out, nil
 				},
 			})
@@ -337,6 +428,9 @@ func RunInterBlock(s Scale) (*InterResult, error) {
 
 // RunInterBlockOpts is RunInterBlock under explicit orchestration
 // options; error semantics match RunIntraBlockOpts.
+//
+// Deprecated: new code should use RunInter with functional options; this
+// positional variant remains for existing callers.
 func RunInterBlockOpts(ctx context.Context, s Scale, opts RunOptions) (*InterResult, error) {
 	grid := runner.Run(ctx, interTasks(s, opts), opts.runner())
 	res := &InterResult{
@@ -344,6 +438,7 @@ func RunInterBlockOpts(ctx context.Context, s Scale, opts RunOptions) (*InterRes
 		Figure12: &Figure{Title: "Figure 12: normalized execution time (inter-block)", Categories: []string{"cycles"}},
 		Raw:      make(map[string]map[string]*Result),
 		Runs:     grid.Records(),
+		Traces:   cellTraces(grid),
 	}
 	for _, w := range InterWorkloads(s) {
 		res.Raw[w.Name] = make(map[string]*Result)
@@ -397,7 +492,8 @@ func RunInterBlockOpts(ctx context.Context, s Scale, opts RunOptions) (*InterRes
 // tooling.
 func (r *InterResult) Document(s Scale) *runner.Document {
 	return &runner.Document{
-		Schema: runner.SchemaVersion,
+		Schema: runner.SchemaV2,
+		Kind:   runner.KindResults,
 		Scale:  s.Name(),
 		Suite:  "inter",
 		Figures: []runner.Figure{

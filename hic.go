@@ -158,11 +158,6 @@ func NewModeHierarchy(m *Machine, mode Mode) Hierarchy {
 	return core.New(m, core.Config{L1: l1, L2: l2, L3: l3})
 }
 
-// Run executes guests on h and returns the result.
-func Run(h Hierarchy, guests []Guest) (*Result, error) {
-	return engine.New(h, guests).Run()
-}
-
 // StorageReport regenerates the Section VII-A control/storage comparison.
 func StorageReport() *overhead.Report {
 	return overhead.Compute(overhead.PaperMachine())

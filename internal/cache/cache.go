@@ -90,6 +90,19 @@ type Cache struct {
 	Hits, Misses, Evictions, WritebacksOnEvict int64
 }
 
+// Stats is the cache's event counters in one bundle, read by the
+// observability layer at snapshot time (the counters themselves are
+// maintained on the lookup/insert paths regardless, so attaching a
+// recorder adds no per-access cost here).
+type Stats struct {
+	Hits, Misses, Evictions, WritebacksOnEvict int64
+}
+
+// Stats returns the current counter values.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.Hits, Misses: c.Misses, Evictions: c.Evictions, WritebacksOnEvict: c.WritebacksOnEvict}
+}
+
 // New builds a cache. Capacity must be a multiple of ways × line size and
 // the set count must be a power of two.
 func New(cfg Config) *Cache {

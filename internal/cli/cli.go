@@ -1,0 +1,269 @@
+// Package cli is the shared command-line surface of the hic tools. Every
+// command used to declare its own copies of the common flags (-parallel,
+// -timeout, -json, ...), which let their spellings, defaults, and help
+// strings drift; here each command selects the shared flags it supports
+// with a Mask and registers only its extras, and the parsed values
+// convert to hic run options and JSON encoding policy in one place.
+//
+// Typical use (see cmd/intrablock for a complete example):
+//
+//	f := cli.Register(flag.CommandLine, cli.FigureFlags)
+//	extra := flag.Bool("traffic", false, "...")   // command-specific
+//	flag.Parse()
+//	s, err := f.ScaleValue()
+//	...
+//	res, err := hic.RunIntra(ctx, s, f.Options()...)
+//	err = f.EncodeDoc(os.Stdout, res.Document(s))
+//	err = f.WriteTraces(res.Traces)
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	hic "repro"
+	"repro/internal/obs"
+	"repro/internal/runner"
+)
+
+// Mask selects which shared flags a command registers.
+type Mask uint
+
+const (
+	// FlagScale is -scale (problem size).
+	FlagScale Mask = 1 << iota
+	// FlagParallel is -parallel (sweep worker count).
+	FlagParallel
+	// FlagTimeout is -timeout (per-run bound).
+	FlagTimeout
+	// FlagJSON is -json (machine-readable output).
+	FlagJSON
+	// FlagTiming is -timing (host wall times in -json output).
+	FlagTiming
+	// FlagSchema is -schema (v2 envelope or v1 compatibility layout).
+	FlagSchema
+	// FlagCheck is -check (shapecheck gate).
+	FlagCheck
+	// FlagCoherence is -check-coherence (shadow-memory oracle).
+	FlagCoherence
+	// FlagFaults is -faults (deterministic fault injection).
+	FlagFaults
+	// FlagObs is -metrics and -trace-chrome (observability layer).
+	FlagObs
+	// FlagProfile is -cpuprofile and -memprofile.
+	FlagProfile
+
+	// SweepFlags is the full sweep-command set (hicsim).
+	SweepFlags = FlagScale | FlagParallel | FlagTimeout | FlagJSON | FlagTiming |
+		FlagSchema | FlagCheck | FlagCoherence | FlagFaults | FlagObs | FlagProfile
+	// FigureFlags is the single-figure sweep set (intrablock, interblock):
+	// everything but the shapecheck gate and fault injection.
+	FigureFlags = FlagScale | FlagParallel | FlagTimeout | FlagJSON | FlagTiming |
+		FlagSchema | FlagCoherence | FlagObs | FlagProfile
+	// JSONFlags is the minimal machine-output set (litmus, overhead).
+	JSONFlags = FlagJSON | FlagSchema
+)
+
+// Flags holds the parsed shared flags. Fields whose flag was not
+// selected by the mask keep their defaults.
+type Flags struct {
+	mask Mask
+
+	// Scale is the problem scale spelling ("test" or "bench").
+	Scale string
+	// Parallel is the sweep worker count.
+	Parallel int
+	// Timeout bounds each individual run (0 = none).
+	Timeout time.Duration
+	// JSON selects machine-readable output.
+	JSON bool
+	// Timing includes host wall times in JSON output.
+	Timing bool
+	// Schema selects the JSON envelope: "v2" (default) or "v1" for the
+	// legacy per-tool layouts.
+	Schema string
+	// Check evaluates the expected orderings and exits nonzero on
+	// violation.
+	Check bool
+	// CheckCoherence attaches the coherence oracle to every run.
+	CheckCoherence bool
+	// Faults is the fault-injection plan ("matrix" or a plan string).
+	Faults string
+	// Metrics embeds observability snapshots in the run records.
+	Metrics bool
+	// TraceChrome writes a Chrome trace_event file of the sweep's stall
+	// timelines to this path.
+	TraceChrome string
+	// CPUProfile and MemProfile are pprof output paths.
+	CPUProfile, MemProfile string
+}
+
+// Register installs the shared flags selected by mask on fs and returns
+// the destination Flags. Call it before registering command-specific
+// extras so the shared spellings stay first in -help output.
+func Register(fs *flag.FlagSet, mask Mask) *Flags {
+	f := &Flags{mask: mask, Scale: "bench", Parallel: runtime.GOMAXPROCS(0), Schema: "v2"}
+	if mask&FlagScale != 0 {
+		fs.StringVar(&f.Scale, "scale", f.Scale, "problem scale: test or bench")
+	}
+	if mask&FlagParallel != 0 {
+		fs.IntVar(&f.Parallel, "parallel", f.Parallel, "worker count for the experiment sweeps")
+	}
+	if mask&FlagTimeout != 0 {
+		fs.DurationVar(&f.Timeout, "timeout", 0, "per-run timeout (0 = none)")
+	}
+	if mask&FlagJSON != 0 {
+		fs.BoolVar(&f.JSON, "json", false, "emit results as a machine-readable JSON document on stdout")
+	}
+	if mask&FlagTiming != 0 {
+		fs.BoolVar(&f.Timing, "timing", false, "include host wall times in -json output (not deterministic)")
+	}
+	if mask&FlagSchema != 0 {
+		fs.StringVar(&f.Schema, "schema", f.Schema, `JSON envelope: "v2" (hic/v2) or "v1" (legacy layout)`)
+	}
+	if mask&FlagCheck != 0 {
+		fs.BoolVar(&f.Check, "check", false, "verify the paper's expected orderings; exit nonzero on violation")
+	}
+	if mask&FlagCoherence != 0 {
+		fs.BoolVar(&f.CheckCoherence, "check-coherence", false, "attach the coherence oracle to every run")
+	}
+	if mask&FlagFaults != 0 {
+		fs.StringVar(&f.Faults, "faults", "", `run the buggy-annotation experiment: "matrix" or a fault plan`)
+	}
+	if mask&FlagObs != 0 {
+		fs.BoolVar(&f.Metrics, "metrics", false, "embed per-run observability snapshots in the JSON run records")
+		fs.StringVar(&f.TraceChrome, "trace-chrome", "", "write a Chrome trace_event file of the sweep's stall timelines (open in Perfetto)")
+	}
+	if mask&FlagProfile != 0 {
+		fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+		fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	}
+	return f
+}
+
+// ScaleValue parses the -scale spelling.
+func (f *Flags) ScaleValue() (hic.Scale, error) {
+	switch f.Scale {
+	case "bench":
+		return hic.ScaleBench, nil
+	case "test":
+		return hic.ScaleTest, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (want test or bench)", f.Scale)
+}
+
+// SchemaV1 reports whether -schema selected the legacy layout.
+func (f *Flags) SchemaV1() bool { return f.Schema == "v1" }
+
+// Validate rejects values the flag parser accepts but the tools do not
+// (bad -scale spellings are reported by ScaleValue).
+func (f *Flags) Validate() error {
+	if f.Schema != "v1" && f.Schema != "v2" {
+		return fmt.Errorf("unknown schema %q (want v1 or v2)", f.Schema)
+	}
+	return nil
+}
+
+// Tracing reports whether the command should retain stall timelines.
+func (f *Flags) Tracing() bool { return f.TraceChrome != "" }
+
+// Options converts the parsed flags to functional run options (the
+// fault plan is excluded: commands that run the fault matrix handle
+// -faults themselves).
+func (f *Flags) Options() []hic.Option {
+	opts := []hic.Option{
+		hic.WithParallel(f.Parallel),
+		hic.WithTimeout(f.Timeout),
+	}
+	if f.CheckCoherence {
+		opts = append(opts, hic.WithCoherenceCheck())
+	}
+	if f.Metrics {
+		opts = append(opts, hic.WithMetrics())
+	}
+	if f.Tracing() {
+		opts = append(opts, hic.WithTracing())
+	}
+	return opts
+}
+
+// RunOptions is Options in struct form, fault plan included.
+func (f *Flags) RunOptions() hic.RunOptions {
+	o := hic.NewRunOptions(f.Options()...)
+	if f.Faults != "" && f.Faults != "matrix" {
+		o.Faults = f.Faults
+	}
+	return o
+}
+
+// EncodeDoc writes a results document per the -schema and -timing flags:
+// the hic/v2 envelope by default, the legacy hic-results/v1 layout under
+// -schema v1, canonical (wall times stripped) unless -timing.
+func (f *Flags) EncodeDoc(w io.Writer, doc *runner.Document) error {
+	if f.SchemaV1() {
+		doc = doc.LegacyV1()
+	}
+	if f.Timing {
+		return doc.EncodeTiming(w)
+	}
+	return doc.Encode(w)
+}
+
+// WriteTraces writes the sweep's stall timelines to the -trace-chrome
+// path (no-op when the flag is unset or no cell retained a timeline).
+func (f *Flags) WriteTraces(traces []obs.CellTrace) error {
+	if f.TraceChrome == "" {
+		return nil
+	}
+	out, err := os.Create(f.TraceChrome)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChrome(out, traces); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// StartProfiles begins the -cpuprofile capture and returns a stop
+// function that ends it and writes the -memprofile snapshot; defer it
+// from main. Profile-file failures are fatal via log.
+func (f *Flags) StartProfiles() (stop func()) {
+	var stopCPU func()
+	if f.CPUProfile != "" {
+		out, err := os.Create(f.CPUProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(out); err != nil {
+			log.Fatal(err)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			out.Close()
+		}
+	}
+	return func() {
+		if stopCPU != nil {
+			stopCPU()
+		}
+		if f.MemProfile != "" {
+			out, err := os.Create(f.MemProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer out.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(out); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package cli
+
+// Round-trip tests of the shared flag surface: every command's mask is
+// parsed with a full argument vector and the values must land in Flags
+// and flow through to hic.RunOptions. These catch the classic CLI drift
+// bug — a flag that parses but is never wired into the options — for
+// every command at once.
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+	"time"
+
+	hic "repro"
+	"repro/internal/runner"
+)
+
+func parse(t *testing.T, mask Mask, args ...string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs, mask)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return f
+}
+
+// masks mirrors the per-command flag selections in cmd/*.
+var masks = map[string]Mask{
+	"hicsim":     SweepFlags,
+	"intrablock": FigureFlags,
+	"interblock": FigureFlags,
+	"litmus":     JSONFlags,
+	"overhead":   FlagJSON,
+}
+
+// argFor maps each registered shared flag to a non-default test value.
+var argFor = map[Mask][]string{
+	FlagScale:     {"-scale", "test"},
+	FlagParallel:  {"-parallel", "3"},
+	FlagTimeout:   {"-timeout", "90s"},
+	FlagJSON:      {"-json"},
+	FlagTiming:    {"-timing"},
+	FlagSchema:    {"-schema", "v1"},
+	FlagCheck:     {"-check"},
+	FlagCoherence: {"-check-coherence"},
+	FlagFaults:    {"-faults", "drop-wb@0"},
+	FlagObs:       {"-metrics", "-trace-chrome", "out.json"},
+	FlagProfile:   {"-cpuprofile", "cpu.out", "-memprofile", "mem.out"},
+}
+
+func TestEveryCommandMaskRoundTrips(t *testing.T) {
+	all := []Mask{FlagScale, FlagParallel, FlagTimeout, FlagJSON, FlagTiming,
+		FlagSchema, FlagCheck, FlagCoherence, FlagFaults, FlagObs, FlagProfile}
+	for name, mask := range masks {
+		t.Run(name, func(t *testing.T) {
+			var args []string
+			for _, bit := range all {
+				if mask&bit != 0 {
+					args = append(args, argFor[bit]...)
+				}
+			}
+			f := parse(t, mask, args...)
+			if mask&FlagScale != 0 {
+				if s, err := f.ScaleValue(); err != nil || s != hic.ScaleTest {
+					t.Errorf("scale = %v, %v; want ScaleTest", s, err)
+				}
+			}
+			if mask&FlagParallel != 0 && f.Parallel != 3 {
+				t.Errorf("parallel = %d, want 3", f.Parallel)
+			}
+			if mask&FlagTimeout != 0 && f.Timeout != 90*time.Second {
+				t.Errorf("timeout = %s, want 90s", f.Timeout)
+			}
+			if mask&FlagJSON != 0 && !f.JSON {
+				t.Error("-json not recorded")
+			}
+			if mask&FlagTiming != 0 && !f.Timing {
+				t.Error("-timing not recorded")
+			}
+			if mask&FlagSchema != 0 && !f.SchemaV1() {
+				t.Error("-schema v1 not recorded")
+			}
+			if mask&FlagCheck != 0 && !f.Check {
+				t.Error("-check not recorded")
+			}
+			if mask&FlagCoherence != 0 && !f.CheckCoherence {
+				t.Error("-check-coherence not recorded")
+			}
+			if mask&FlagFaults != 0 && f.Faults != "drop-wb@0" {
+				t.Errorf("faults = %q", f.Faults)
+			}
+			if mask&FlagObs != 0 && (!f.Metrics || f.TraceChrome != "out.json") {
+				t.Errorf("metrics/trace-chrome = %v/%q", f.Metrics, f.TraceChrome)
+			}
+			if mask&FlagProfile != 0 && (f.CPUProfile != "cpu.out" || f.MemProfile != "mem.out") {
+				t.Errorf("profiles = %q/%q", f.CPUProfile, f.MemProfile)
+			}
+			if err := f.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestUnselectedFlagsAreNotRegistered(t *testing.T) {
+	// A command that did not select a flag must reject it, not silently
+	// swallow it with a default.
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(&bytes.Buffer{})
+	Register(fs, FlagJSON)
+	if err := fs.Parse([]string{"-parallel", "4"}); err == nil {
+		t.Error("mask without FlagParallel accepted -parallel")
+	}
+}
+
+func TestOptionsFlowIntoRunOptions(t *testing.T) {
+	f := parse(t, SweepFlags,
+		"-parallel", "5", "-timeout", "30s", "-check-coherence",
+		"-metrics", "-trace-chrome", "t.json", "-faults", "drop-wb@1")
+	o := f.RunOptions()
+	if o.Parallel != 5 || o.Timeout != 30*time.Second {
+		t.Errorf("orchestration = %d/%s", o.Parallel, o.Timeout)
+	}
+	if !o.CheckCoherence {
+		t.Error("coherence check not wired")
+	}
+	if !o.Metrics || !o.Trace {
+		t.Errorf("metrics/trace = %v/%v, want true/true", o.Metrics, o.Trace)
+	}
+	if o.Faults != "drop-wb@1" {
+		t.Errorf("faults = %q", o.Faults)
+	}
+	// "matrix" is a command-level mode, not a plan: it must not reach
+	// the options.
+	f2 := parse(t, SweepFlags, "-faults", "matrix")
+	if o2 := f2.RunOptions(); o2.Faults != "" {
+		t.Errorf(`faults = %q, want "" for -faults matrix`, o2.Faults)
+	}
+}
+
+func TestValidateRejectsUnknownSchema(t *testing.T) {
+	f := parse(t, JSONFlags, "-schema", "v3")
+	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "v3") {
+		t.Errorf("Validate = %v, want unknown-schema error", err)
+	}
+}
+
+func TestScaleValueRejectsUnknownScale(t *testing.T) {
+	f := parse(t, FlagScale, "-scale", "huge")
+	if _, err := f.ScaleValue(); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestEncodeDocHonorsSchemaFlag(t *testing.T) {
+	doc := &runner.Document{Schema: runner.SchemaV2, Kind: runner.KindResults, Scale: "test", Suite: "intra"}
+	v2 := parse(t, FigureFlags)
+	var buf bytes.Buffer
+	if err := v2.EncodeDoc(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runner.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != runner.SchemaV2 || out.Kind != runner.KindResults {
+		t.Errorf("default encode = %q/%q, want v2 envelope", out.Schema, out.Kind)
+	}
+	v1 := parse(t, FigureFlags, "-schema", "v1")
+	buf.Reset()
+	if err := v1.EncodeDoc(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	if out, err = runner.Decode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != runner.SchemaVersion || out.Kind != "" {
+		t.Errorf("-schema v1 encode = %q/%q, want legacy layout", out.Schema, out.Kind)
+	}
+	if doc.Schema != runner.SchemaV2 {
+		t.Error("EncodeDoc mutated the caller's document")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 )
 
@@ -77,9 +78,19 @@ func (w *IRWorkload) Run(h engine.Hierarchy, mode Mode) (*engine.Result, error) 
 // coherence oracle observing the event stream; an oracle violation
 // becomes the run's primary error.
 func (w *IRWorkload) RunChecked(ctx context.Context, h engine.Hierarchy, mode Mode, orc *oracle.Oracle) (*engine.Result, error) {
+	return w.RunObserved(ctx, h, mode, orc, nil)
+}
+
+// RunObserved is RunChecked with an optional observability recorder fed
+// by the engine (per-core stall spans); attach the recorder to the
+// hierarchy separately (obs.Attach) for component metrics.
+func (w *IRWorkload) RunObserved(ctx context.Context, h engine.Hierarchy, mode Mode, orc *oracle.Oracle, rec *obs.Recorder) (*engine.Result, error) {
 	e := engine.New(h, Lower(w.Prog, w.Threads, mode))
 	if orc != nil {
 		e.SetObserver(orc)
+	}
+	if rec != nil {
+		e.SetRecorder(rec)
 	}
 	res, err := e.RunCtx(ctx)
 	if err != nil {

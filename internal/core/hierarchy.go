@@ -26,6 +26,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/topo"
 )
@@ -99,6 +100,12 @@ type Hierarchy struct {
 	delayed []parked
 
 	ctr *stats.Counters
+
+	// rec plus the pre-resolved per-core occupancy tracks, set when the
+	// observability recorder is attached (nil otherwise). See obs.go.
+	rec      *obs.Recorder
+	mebTrack []*obs.Track
+	iebTrack []*obs.Track
 }
 
 // New builds a hierarchy on machine m with config cfg and a fresh backing
@@ -211,6 +218,7 @@ func (h *Hierarchy) Load(core int, a mem.Addr) (mem.Word, int64) {
 			if b.Insert(line) {
 				h.ctr.Inc("ieb.evictions", 1)
 			}
+			h.sampleIEB(core)
 			h.ctr.Inc("ieb.insertions", 1)
 			if l := l1.Peek(a); l != nil {
 				// First read in the epoch: invalidate the potentially
@@ -265,6 +273,7 @@ func (h *Hierarchy) Store(core int, a mem.Addr, v mem.Word) int64 {
 			} else if b.Record(f) {
 				h.ctr.Inc("meb.overflows", 1)
 			}
+			h.sampleMEB(core)
 		}
 		h.noteBloomWrite(core, mem.LineAddr(a))
 	}
@@ -424,6 +433,7 @@ func (h *Hierarchy) uncachedRT(core int, a mem.Addr) int64 {
 func (h *Hierarchy) EpochBoundary(core int) {
 	if b := h.ieb[core]; b != nil {
 		b.Disarm()
+		h.sampleIEB(core)
 	}
 }
 

@@ -248,6 +248,7 @@ func (h *Hierarchy) wbAll(core int, useMEB bool, lvl isa.Level) int64 {
 	}
 	if meb != nil {
 		meb.Clear()
+		h.sampleMEB(core)
 	}
 	h.countLineOp("wb", lvl, int64(written))
 
@@ -291,6 +292,7 @@ func (h *Hierarchy) invAll(core int, lazy bool, lvl isa.Level) int64 {
 	if lazy && lvl == isa.LevelAuto {
 		if b := h.ieb[core]; b != nil {
 			b.Arm()
+			h.sampleIEB(core)
 			h.ctr.Inc("ieb.armed", 1)
 			return 1
 		}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/hwsync"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -198,6 +199,7 @@ type Engine struct {
 	ts   []*thread
 	rq   runq
 	obs  Observer
+	rec  *obs.Recorder
 
 	// sched, when non-nil, replaces the default scheduling policy (see
 	// sched.go); cands is its reused candidate buffer and decision counts
@@ -261,6 +263,14 @@ func New(h Hierarchy, guests []Guest) *Engine {
 // Call before Run; the observer adds one call per op to the hot loop, so
 // it is off by default.
 func (e *Engine) SetObserver(o Observer) { e.obs = o }
+
+// SetRecorder installs the observability recorder (nil to disable, the
+// default). When set, the engine advances the recorder's simulated clock
+// each step and emits one span per stall attribution — the same
+// (kind, cycles) pairs that land in Result.Stalls, so the recorder's
+// per-kind totals reconcile exactly with the run result. Call before
+// Run.
+func (e *Engine) SetRecorder(r *obs.Recorder) { e.rec = r }
 
 // Run executes all guests to completion and returns the run result. It is
 // deterministic: identical guests over an identical hierarchy produce an
@@ -408,6 +418,9 @@ func (e *Engine) deadlockError() error {
 func (e *Engine) step(t *thread, res *Result) error {
 	op := t.next
 	res.Ops[op.Kind]++
+	if e.rec != nil {
+		e.rec.SetNow(t.time)
+	}
 	if op.Kind.IsSync() {
 		e.h.EpochBoundary(t.id)
 		return e.stepSync(t, op)
@@ -432,6 +445,9 @@ func (e *Engine) step(t *thread, res *Result) error {
 	case isa.OpCompute:
 		t.time += op.Cycles
 		t.stalls.Add(stats.Busy, op.Cycles)
+		if e.rec != nil {
+			e.rec.Span(t.id, stats.Busy, t.time-op.Cycles, op.Cycles)
+		}
 		e.reply(t, 0)
 		return nil
 	case isa.OpWB:
@@ -475,6 +491,11 @@ func (e *Engine) step(t *thread, res *Result) error {
 	t.time += cpi + lat
 	t.stalls.Add(stats.Busy, cpi)
 	t.stalls.Add(kind, lat)
+	if e.rec != nil {
+		start := t.time - cpi - lat
+		e.rec.Span(t.id, stats.Busy, start, cpi)
+		e.rec.Span(t.id, kind, start+cpi, lat)
+	}
 	if e.obs != nil {
 		e.obs.OnEvent(Event{Kind: EvOp, Thread: t.id, Op: op, Value: val, Time: t.time})
 	}
@@ -498,6 +519,9 @@ func (e *Engine) stepSync(t *thread, op isa.Op) error {
 			return nil
 		}
 		t.stalls.Add(stats.LockStall, at-t.time)
+		if e.rec != nil {
+			e.rec.Span(t.id, stats.LockStall, t.time, at-t.time)
+		}
 		t.time = at
 		e.granted(t, op, at)
 		e.reply(t, 0)
@@ -538,6 +562,9 @@ func (e *Engine) stepSync(t *thread, op isa.Op) error {
 			return nil
 		}
 		t.stalls.Add(stats.FlagStall, at-t.time)
+		if e.rec != nil {
+			e.rec.Span(t.id, stats.FlagStall, t.time, at-t.time)
+		}
 		t.time = at
 		e.granted(t, op, at)
 		e.reply(t, 0)
@@ -567,6 +594,9 @@ func (e *Engine) wake(g hwsync.Grant) {
 		wait = 0
 	}
 	t.stalls.Add(t.blockAs, wait)
+	if e.rec != nil {
+		e.rec.Span(t.id, t.blockAs, t.blockAt, wait)
+	}
 	t.time = g.At
 	t.state = ready
 	// t.next still holds the blocking sync op here: recvNext runs only

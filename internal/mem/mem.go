@@ -277,6 +277,23 @@ func (m *Memory) WriteLine(a Addr, src *[WordsPerLine]Word, mask LineMask) {
 	*bm |= uint64(mask) << shift
 }
 
+// Stats reports the store's observability metrics, read at snapshot
+// time (no per-access cost): the footprint in distinct words ever
+// written and the resident page count. The map-backed oracle store has
+// no pages and reports 0.
+func (m *Memory) Stats() (footprintWords, pages int) {
+	footprintWords = m.Footprint()
+	if m.oracle != nil {
+		return footprintWords, 0
+	}
+	for _, p := range m.pages {
+		if p != nil {
+			pages++
+		}
+	}
+	return footprintWords, pages
+}
+
 // Footprint returns the number of distinct words ever written.
 func (m *Memory) Footprint() int {
 	if m.oracle != nil {

@@ -14,6 +14,7 @@ package noc
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -39,6 +40,32 @@ type Mesh struct {
 	w, h  int
 	place map[NodeID]Coord
 	tr    stats.Traffic
+	// hooks holds the observability histograms when a recorder is
+	// attached (nil otherwise — the only cost then is this nil test).
+	hooks *meshObs
+}
+
+// meshObs holds the pre-resolved histograms so the accounting hot path
+// never does a map lookup: one latency histogram plus a per-class
+// message-size histogram.
+type meshObs struct {
+	lat   *obs.Hist
+	flits [stats.NumTrafficClasses]*obs.Hist
+}
+
+// SetObs attaches the observability recorder (nil detaches). Message
+// sends then feed the "noc.latency" histogram (one-way cycles) and
+// per-class "noc.flits.<class>" histograms (message sizes in flits).
+func (m *Mesh) SetObs(r *obs.Recorder) {
+	if r == nil {
+		m.hooks = nil
+		return
+	}
+	h := &meshObs{lat: r.Hist("noc.latency")}
+	for c := stats.TrafficClass(0); c < stats.NumTrafficClasses; c++ {
+		h.flits[c] = r.Hist("noc.flits." + c.String())
+	}
+	m.hooks = h
 }
 
 // New returns a W×H mesh with no placed nodes.
@@ -105,12 +132,22 @@ func CtrlFlits() int64 { return HeaderFlits }
 // 128-bit flits" metric for Figure 10; latency still depends on hops.
 func (m *Mesh) Send(a, b NodeID, flits int64, c stats.TrafficClass) int64 {
 	m.tr.Add(c, flits)
-	return m.Latency(a, b)
+	lat := m.Latency(a, b)
+	if m.hooks != nil {
+		m.hooks.lat.Observe(lat)
+		m.hooks.flits[c].Observe(flits)
+	}
+	return lat
 }
 
 // Account adds flits to class c without a latency result, for messages
 // whose timing is already folded into a round-trip cost.
-func (m *Mesh) Account(c stats.TrafficClass, flits int64) { m.tr.Add(c, flits) }
+func (m *Mesh) Account(c stats.TrafficClass, flits int64) {
+	m.tr.Add(c, flits)
+	if m.hooks != nil {
+		m.hooks.flits[c].Observe(flits)
+	}
+}
 
 // Traffic returns the accumulated flit counts.
 func (m *Mesh) Traffic() stats.Traffic { return m.tr }

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// CellTrace pairs one experiment cell's identity with its retained
+// timeline, for multi-cell Chrome export (one Perfetto process per
+// cell).
+type CellTrace struct {
+	Workload string
+	Config   string
+	Trace    *Trace
+}
+
+// chromeEvent is one Chrome trace_event, JSON Object Format. Field order
+// is fixed by the struct, so output is deterministic.
+type chromeEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"`
+	Dur  int64  `json:"dur,omitempty"`
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+	Cat  string `json:"cat,omitempty"`
+	Args any    `json:"args,omitempty"`
+}
+
+// WriteChrome writes the cells' timelines in Chrome trace_event JSON
+// (the format chrome://tracing and Perfetto load). Each cell becomes one
+// process named "workload (config)"; each core becomes one thread
+// carrying its stall spans as complete ("X") events; occupancy tracks
+// become counter ("C") series. Timestamps are simulation cycles written
+// into the format's microsecond field, so 1 displayed µs = 1 cycle
+// (recorded under otherData.timestamp_unit).
+//
+// Output is deterministic: cells in the order given, cores ascending,
+// tracks sorted by (name, core), fixed field order.
+func WriteChrome(w io.Writer, cells []CellTrace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+	for pid, cell := range cells {
+		label := cell.Workload
+		if cell.Config != "" {
+			label = fmt.Sprintf("%s (%s)", cell.Workload, cell.Config)
+		}
+		if err := emit(chromeEvent{Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]string{"name": label}}); err != nil {
+			return err
+		}
+		tr := cell.Trace
+		if tr == nil {
+			continue
+		}
+		for core := range tr.Spans {
+			if err := emit(chromeEvent{Name: "thread_name", Ph: "M", PID: pid, TID: core,
+				Args: map[string]string{"name": fmt.Sprintf("core %d", core)}}); err != nil {
+				return err
+			}
+			for _, sp := range tr.Spans[core] {
+				if err := emit(chromeEvent{Name: sp.Kind.String(), Ph: "X",
+					TS: sp.Start, Dur: sp.Dur, PID: pid, TID: core, Cat: "stall"}); err != nil {
+					return err
+				}
+			}
+		}
+		for _, t := range tr.Tracks {
+			name := fmt.Sprintf("%s core %d", t.Name, t.Core)
+			for _, s := range t.Samples() {
+				if err := emit(chromeEvent{Name: name, Ph: "C", TS: s.T, PID: pid,
+					Args: map[string]int64{"value": s.V}}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n],\"otherData\":{\"timestamp_unit\":\"cycles\"}}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,136 @@
+package obs
+
+import "repro/internal/stats"
+
+// Span is one contiguous stretch of a core's time attributed to a single
+// stall category (a slice of the paper's Figure 9 breakdown, with cycle
+// timestamps). Adjacent same-kind spans are coalesced on insert, so a
+// long compute phase is one span, not one per Compute op.
+type Span struct {
+	Start int64           `json:"ts"`
+	Dur   int64           `json:"dur"`
+	Kind  stats.StallKind `json:"kind"`
+}
+
+// SpanTrack is one core's bounded stall timeline. The per-kind cycle
+// totals are exact whatever the capacity: when the ring fills, later
+// spans are counted (Dropped) and totalled but not stored, keeping the
+// retained timeline a faithful prefix. A nil *SpanTrack is a no-op.
+type SpanTrack struct {
+	cap     int
+	spans   []Span
+	dropped int64
+	totals  stats.Stalls
+}
+
+func newSpanTrack(cap int) *SpanTrack { return &SpanTrack{cap: cap} }
+
+// Add records dur cycles of kind starting at start. Zero or negative
+// durations are ignored (an unexposed latency is not a span).
+func (s *SpanTrack) Add(kind stats.StallKind, start, dur int64) {
+	if s == nil || dur <= 0 {
+		return
+	}
+	s.totals.Add(kind, dur)
+	if s.cap < 0 {
+		return
+	}
+	if n := len(s.spans); n > 0 {
+		if last := &s.spans[n-1]; last.Kind == kind && last.Start+last.Dur == start {
+			last.Dur += dur
+			return
+		}
+	}
+	if len(s.spans) >= s.cap {
+		s.dropped++
+		return
+	}
+	s.spans = append(s.spans, Span{Start: start, Dur: dur, Kind: kind})
+}
+
+// Totals returns the exact per-kind cycle totals.
+func (s *SpanTrack) Totals() stats.Stalls {
+	if s == nil {
+		return stats.Stalls{}
+	}
+	return s.totals
+}
+
+// Spans returns the stored timeline (shared slice; callers must not
+// mutate it).
+func (s *SpanTrack) Spans() []Span {
+	if s == nil {
+		return nil
+	}
+	return s.spans
+}
+
+// Dropped returns how many spans did not fit in the ring.
+func (s *SpanTrack) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped
+}
+
+// TrackSample is one (time, value) point of an occupancy track.
+type TrackSample struct {
+	T int64 `json:"t"`
+	V int64 `json:"v"`
+}
+
+// Track is a bounded per-core sample series (MEB/IEB occupancy in
+// practice) with an exact high-water mark. Samples are recorded only on
+// value change; when the ring fills, further changes still update the
+// high-water mark but are dropped from the series. A nil *Track is a
+// no-op.
+type Track struct {
+	Name string
+	Core int
+
+	cap     int
+	samples []TrackSample
+	dropped int64
+	hwm     int64
+	last    int64
+	seen    bool
+}
+
+// Sample records value v at time now.
+func (t *Track) Sample(now, v int64) {
+	if t == nil {
+		return
+	}
+	if v > t.hwm {
+		t.hwm = v
+	}
+	if t.seen && v == t.last {
+		return
+	}
+	t.seen, t.last = true, v
+	if t.cap < 0 {
+		return
+	}
+	if len(t.samples) >= t.cap {
+		t.dropped++
+		return
+	}
+	t.samples = append(t.samples, TrackSample{T: now, V: v})
+}
+
+// HWM returns the track's high-water mark.
+func (t *Track) HWM() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.hwm
+}
+
+// Samples returns the stored series (shared slice; callers must not
+// mutate it).
+func (t *Track) Samples() []TrackSample {
+	if t == nil {
+		return nil
+	}
+	return t.samples
+}

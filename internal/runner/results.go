@@ -15,17 +15,40 @@ import (
 	"encoding/json"
 	"io"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
-// SchemaVersion identifies the document layout; bump on incompatible
-// changes so shape-checkers can reject documents they do not understand.
+// SchemaVersion identifies the legacy document layout; bump on
+// incompatible changes so shape-checkers can reject documents they do
+// not understand.
 const SchemaVersion = "hic-results/v1"
+
+// SchemaV2 is the unified versioned envelope: every JSON artifact the
+// tools emit (sweep results, litmus documents, metrics snapshots)
+// carries {"schema": "hic/v2", "kind": "..."} so consumers dispatch on
+// one field pair instead of per-tool schema strings. LegacyV1 converts
+// a results document back to the v1 layout for old consumers.
+const SchemaV2 = "hic/v2"
+
+// The document kinds of the hic/v2 envelope.
+const (
+	// KindResults is a sweep results document (this package's Document).
+	KindResults = "results"
+	// KindLitmus is a litmus-test document (cmd/litmus).
+	KindLitmus = "litmus"
+	// KindMetrics is a standalone observability snapshot (internal/obs).
+	KindMetrics = "metrics"
+	// KindStorage is the Section VII-A storage report (cmd/overhead).
+	KindStorage = "storage"
+)
 
 // Document is the machine-readable outcome of one or more sweeps.
 type Document struct {
-	// Schema is SchemaVersion.
+	// Schema is SchemaV2 (or SchemaVersion for legacy documents).
 	Schema string `json:"schema"`
+	// Kind is KindResults under the v2 envelope; empty in v1 documents.
+	Kind string `json:"kind,omitempty"`
 	// Scale names the problem scale the sweep ran at ("test", "bench").
 	Scale string `json:"scale"`
 	// Suite names what ran: "intra", "inter", or "all".
@@ -84,6 +107,10 @@ type RunRecord struct {
 	// Attempts is emitted only when transient-failure retries reran the
 	// cell (values > 1).
 	Attempts int `json:"attempts,omitempty"`
+	// Metrics is the cell's observability snapshot when the sweep ran
+	// with metrics enabled. It is deterministic (all values are
+	// simulation-derived) and therefore survives canonical encoding.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // FigureJSON converts a stats.Figure under the given identifier.
@@ -128,6 +155,7 @@ func (g *Grid) Records() []RunRecord {
 		}
 		if c.Outcome != nil {
 			rec.GlobalWB, rec.GlobalINV = c.Outcome.GlobalWB, c.Outcome.GlobalINV
+			rec.Metrics = c.Outcome.Metrics
 			if r := c.Outcome.Result; r != nil {
 				rec.Cycles = r.Cycles
 				rec.Stalls = make(map[string]int64, int(stats.NumStallKinds))
@@ -149,10 +177,25 @@ func (g *Grid) Records() []RunRecord {
 	return recs
 }
 
+// LegacyV1 returns a copy of the document in the hic-results/v1 layout
+// for consumers that predate the v2 envelope: the kind discriminator
+// and the per-run metrics snapshots (fields v1 never had) are stripped.
+func (d *Document) LegacyV1() *Document {
+	legacy := *d
+	legacy.Schema = SchemaVersion
+	legacy.Kind = ""
+	legacy.Runs = make([]RunRecord, len(d.Runs))
+	copy(legacy.Runs, d.Runs)
+	for i := range legacy.Runs {
+		legacy.Runs[i].Metrics = nil
+	}
+	return &legacy
+}
+
 // Merge combines documents into one (suite "all"): figures and runs are
 // concatenated in argument order; scale is taken from the first document.
 func Merge(docs ...*Document) *Document {
-	out := &Document{Schema: SchemaVersion, Suite: "all"}
+	out := &Document{Schema: SchemaV2, Kind: KindResults, Suite: "all"}
 	for i, d := range docs {
 		if i == 0 {
 			out.Scale = d.Scale

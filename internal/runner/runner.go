@@ -26,10 +26,12 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Options controls how a sweep executes.
@@ -87,6 +89,13 @@ type Outcome struct {
 	// GlobalWB and GlobalINV are the hierarchy's global line-operation
 	// counts (inter-block runs only; zero otherwise).
 	GlobalWB, GlobalINV int64
+	// Metrics is the run's observability snapshot, when the sweep ran
+	// with metrics enabled (nil otherwise). It flows into the cell's
+	// RunRecord.
+	Metrics *obs.Snapshot
+	// Trace is the run's stall-span timeline for Chrome-trace export,
+	// when the sweep ran with tracing enabled (nil otherwise).
+	Trace *obs.Trace
 }
 
 // Cell is one completed grid entry.
@@ -296,8 +305,12 @@ func runAttempt(parent context.Context, t Task, timeout time.Duration) (*Outcome
 				}}
 			}
 		}()
-		out, err := t.Run(ctx)
-		ch <- outcome{out, err}
+		// Label the body's goroutines for CPU/goroutine profiles, so a
+		// pprof capture of a sweep attributes samples to experiment cells.
+		pprof.Do(ctx, pprof.Labels("workload", t.Workload, "config", t.Config), func(ctx context.Context) {
+			out, err := t.Run(ctx)
+			ch <- outcome{out, err}
+		})
 	}()
 	select {
 	case o := <-ch:

@@ -75,9 +75,19 @@ func (v Violation) String() string {
 // the violations (empty means the document passes).
 func Check(doc *runner.Document) []Violation {
 	var vs []Violation
-	if doc.Schema != runner.SchemaVersion {
+	// Both envelope generations are accepted: the legacy hic-results/v1
+	// layout and the unified hic/v2 envelope with kind "results" (any
+	// other kind is not a results document and cannot be shape-checked).
+	switch doc.Schema {
+	case runner.SchemaVersion:
+	case runner.SchemaV2:
+		if doc.Kind != runner.KindResults {
+			return []Violation{{Figure: "document", Rule: "document kind",
+				Detail: fmt.Sprintf("got %q, want %q", doc.Kind, runner.KindResults)}}
+		}
+	default:
 		return []Violation{{Figure: "document", Rule: "schema version",
-			Detail: fmt.Sprintf("got %q, want %q", doc.Schema, runner.SchemaVersion)}}
+			Detail: fmt.Sprintf("got %q, want %q or %q", doc.Schema, runner.SchemaV2, runner.SchemaVersion)}}
 	}
 	vs = append(vs, checkRuns(doc)...)
 	if f := doc.FigureByID("figure9"); f != nil {

@@ -15,6 +15,7 @@ import (
 	"repro/internal/annotate"
 	"repro/internal/engine"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 )
 
@@ -53,9 +54,20 @@ func (w *Workload) Run(h engine.Hierarchy, cfg annotate.Config) (*engine.Result,
 // violation it found becomes the run's primary error (verification still
 // runs and its failure is joined in).
 func (w *Workload) RunChecked(ctx context.Context, h engine.Hierarchy, cfg annotate.Config, orc *oracle.Oracle) (*engine.Result, error) {
+	return w.RunObserved(ctx, h, cfg, orc, nil)
+}
+
+// RunObserved is RunChecked with an optional observability recorder:
+// when rec is non-nil the engine feeds it per-core stall spans and the
+// hierarchy (if it supports attachment — see obs.Attach) its component
+// metrics. Snapshots are the caller's to take afterwards.
+func (w *Workload) RunObserved(ctx context.Context, h engine.Hierarchy, cfg annotate.Config, orc *oracle.Oracle, rec *obs.Recorder) (*engine.Result, error) {
 	e := engine.New(h, w.Guests(cfg))
 	if orc != nil {
 		e.SetObserver(orc)
+	}
+	if rec != nil {
+		e.SetRecorder(rec)
 	}
 	res, err := e.RunCtx(ctx)
 	if err != nil {

@@ -1,0 +1,124 @@
+package hic
+
+// Functional options over RunOptions: the composable form of the sweep
+// API. New code writes
+//
+//	res, err := hic.RunIntra(ctx, hic.ScaleTest,
+//		hic.WithCoherenceCheck(),
+//		hic.WithMetrics(),
+//		hic.WithObserver(func(w, c string, rec *hic.Recorder) { ... }))
+//
+// instead of filling a RunOptions literal; the positional entry points
+// (RunIntraBlockOpts, RunInterBlockOpts) remain for existing callers but
+// are deprecated in favor of these.
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// Recorder is the observability recorder a WithObserver callback
+// receives (re-exported from internal/obs).
+type Recorder = obs.Recorder
+
+// MetricsSnapshot is a recorder's deterministic metrics snapshot.
+type MetricsSnapshot = obs.Snapshot
+
+// CellTrace is one cell's labeled stall timeline, ready for
+// obs.WriteChrome.
+type CellTrace = obs.CellTrace
+
+// Option configures a sweep or a Run call.
+type Option func(*RunOptions)
+
+// NewRunOptions builds RunOptions from DefaultRunOptions plus opts.
+func NewRunOptions(opts ...Option) RunOptions {
+	o := DefaultRunOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithParallel sets the sweep worker count (<= 0 means GOMAXPROCS).
+func WithParallel(n int) Option {
+	return func(o *RunOptions) { o.Parallel = n }
+}
+
+// WithTimeout bounds each individual run (0 means none).
+func WithTimeout(d time.Duration) Option {
+	return func(o *RunOptions) { o.Timeout = d }
+}
+
+// WithRetry reruns cells whose failure is transient up to retries times,
+// sleeping backoff before the first retry and doubling thereafter.
+func WithRetry(retries int, backoff time.Duration) Option {
+	return func(o *RunOptions) { o.Retries, o.RetryBackoff = retries, backoff }
+}
+
+// WithCoherenceCheck attaches the shadow-memory coherence oracle to
+// every run.
+func WithCoherenceCheck() Option {
+	return func(o *RunOptions) { o.CheckCoherence = true }
+}
+
+// WithFaultPlan injects a deterministic fault plan (internal/faultinject
+// grammar) into every incoherent-hierarchy run.
+func WithFaultPlan(plan string) Option {
+	return func(o *RunOptions) { o.Faults = plan }
+}
+
+// WithMetrics attaches an observability recorder to every run and embeds
+// its deterministic snapshot in the cell's RunRecord.
+func WithMetrics() Option {
+	return func(o *RunOptions) { o.Metrics = true }
+}
+
+// WithTracing additionally retains the bounded per-core stall timeline
+// and occupancy tracks for Chrome trace export.
+func WithTracing() Option {
+	return func(o *RunOptions) { o.Trace = true }
+}
+
+// WithObserver registers a callback invoked with each cell's recorder
+// after its run completes. Setting it alone also enables recording.
+func WithObserver(f func(workload, config string, rec *Recorder)) Option {
+	return func(o *RunOptions) { o.Observer = f }
+}
+
+// RunIntra executes the intra-block sweep (Figures 9 and 10) at scale s
+// under the given options; it is the options form of RunIntraBlockOpts
+// and shares its partial-result error semantics.
+func RunIntra(ctx context.Context, s Scale, opts ...Option) (*IntraResult, error) {
+	return RunIntraBlockOpts(ctx, s, NewRunOptions(opts...))
+}
+
+// RunInter executes the inter-block sweep (Figures 11 and 12) at scale s
+// under the given options; it is the options form of RunInterBlockOpts.
+func RunInter(ctx context.Context, s Scale, opts ...Option) (*InterResult, error) {
+	return RunInterBlockOpts(ctx, s, NewRunOptions(opts...))
+}
+
+// Run executes guests on h and returns the result. Options apply per
+// run: WithMetrics/WithTracing/WithObserver attach a recorder to the
+// engine and (when h supports it) the hierarchy, and the Observer
+// callback — invoked with empty workload/config labels — is the access
+// path to its snapshot and timeline. Orchestration options (parallelism,
+// timeouts, retries) have no effect on a single Run.
+func Run(h Hierarchy, guests []Guest, opts ...Option) (*Result, error) {
+	var o RunOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	e := engine.New(h, guests)
+	rec := o.instrument(h)
+	if rec != nil {
+		e.SetRecorder(rec)
+	}
+	res, err := e.Run()
+	o.finish("", "", rec, nil)
+	return res, err
+}
