@@ -7,6 +7,7 @@
 //
 //	benchjson [label=file ...]      # one labeled set per file
 //	benchjson < bench.txt           # single set labeled "bench"
+//	benchjson -trajectory [-sha S] [-date D] [file]
 //
 // Each set holds the parsed benchmark lines of one `go test -bench` run:
 // name, iterations, ns/op, and — when -benchmem was on — B/op and
@@ -14,6 +15,14 @@
 // goarch, pkg, cpu) are folded into the set, keyed by the last `pkg:`
 // seen so multi-package output concatenated from `go test ./...` parses
 // cleanly.
+//
+// -trajectory instead emits one compact hic-bench-traj/v1 line — commit
+// SHA, date, and ns/op per benchmark — meant to be appended to a growing
+// JSON-lines file (BENCH_trajectory.jsonl, and the CI bench job's
+// trajectory artifact), so the repo accumulates a queryable wall-clock
+// history one entry per change. The SHA defaults to $GITHUB_SHA then
+// `git rev-parse HEAD`; the date defaults to now (UTC, RFC 3339). Both
+// flags exist so CI and tests can pin them.
 //
 // Compare two sets statistically with benchstat (see DESIGN.md
 // "Performance"): benchjson records the snapshot; benchstat judges the
@@ -23,13 +32,16 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/exec"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Bench is one parsed benchmark result line.
@@ -52,15 +64,48 @@ type Doc struct {
 	Sets   map[string][]Bench `json:"sets"`
 }
 
+// TrajectoryEntry is one appendable bench-trajectory line (schema
+// hic-bench-traj/v1): where the tree was, when it ran, and the headline
+// ns/op per benchmark. Keys are sorted by Go's map marshaling, so equal
+// inputs produce byte-equal lines.
+type TrajectoryEntry struct {
+	Schema     string             `json:"schema"`
+	SHA        string             `json:"sha"`
+	Date       string             `json:"date"`
+	Goos       string             `json:"goos,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
-	doc := Doc{Schema: "hic-bench/v1", Sets: map[string][]Bench{}}
+	traj := flag.Bool("trajectory", false, "emit one appendable hic-bench-traj/v1 JSON line instead of a document")
+	sha := flag.String("sha", "", "commit SHA for -trajectory (default: $GITHUB_SHA, then git rev-parse HEAD)")
+	date := flag.String("date", "", "RFC 3339 date for -trajectory (default: now, UTC)")
+	flag.Parse()
 
-	if len(os.Args) < 2 {
+	if *traj {
+		in := io.Reader(os.Stdin)
+		if flag.NArg() > 0 {
+			f, err := os.Open(flag.Arg(0))
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		if err := writeTrajectory(os.Stdout, in, *sha, *date); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	doc := Doc{Schema: "hic-bench/v1", Sets: map[string][]Bench{}}
+	if flag.NArg() == 0 {
 		parseInto(&doc, "bench", os.Stdin)
 	} else {
-		for _, arg := range os.Args[1:] {
+		for _, arg := range flag.Args() {
 			label, path, ok := strings.Cut(arg, "=")
 			if !ok {
 				log.Fatalf("argument %q is not label=file", arg)
@@ -79,6 +124,44 @@ func main() {
 	if err := enc.Encode(doc); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// writeTrajectory parses one bench run from r and writes a single
+// trajectory line to w.
+func writeTrajectory(w io.Writer, r io.Reader, sha, date string) error {
+	doc := Doc{Sets: map[string][]Bench{}}
+	parseInto(&doc, "bench", r)
+	if sha == "" {
+		sha = resolveSHA()
+	}
+	if date == "" {
+		date = time.Now().UTC().Format(time.RFC3339)
+	}
+	e := TrajectoryEntry{
+		Schema:     "hic-bench-traj/v1",
+		SHA:        sha,
+		Date:       date,
+		Goos:       doc.Goos,
+		CPU:        doc.CPU,
+		Benchmarks: map[string]float64{},
+	}
+	for _, b := range doc.Sets["bench"] {
+		e.Benchmarks[b.Name] = b.NsPerOp
+	}
+	return json.NewEncoder(w).Encode(e)
+}
+
+// resolveSHA finds the commit under benchmark: the CI-provided SHA when
+// present, the working tree's HEAD otherwise.
+func resolveSHA() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func parseInto(doc *Doc, label string, r io.Reader) {

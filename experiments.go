@@ -113,6 +113,24 @@ type RunOptions struct {
 	// its run completes (successfully or not), before snapshots are
 	// taken for the outcome. Setting it alone also enables recording.
 	Observer func(workload, config string, rec *obs.Recorder)
+	// Only, when non-empty, restricts a sweep to the named workloads
+	// (unknown names are ignored). Figures are built from the cells that
+	// ran; absent applications simply contribute no groups. The -short
+	// regression paths use this to avoid re-simulating full sweeps.
+	Only []string
+}
+
+// wants reports whether workload name is selected by the Only filter.
+func (o RunOptions) wants(name string) bool {
+	if len(o.Only) == 0 {
+		return true
+	}
+	for _, n := range o.Only {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Workers returns the effective worker count for n tasks.
@@ -238,6 +256,9 @@ type IntraResult struct {
 func intraTasks(s Scale, opts RunOptions) []runner.Task {
 	var tasks []runner.Task
 	for i, w := range IntraWorkloads(s) {
+		if !opts.wants(w.Name) {
+			continue
+		}
 		for _, cfg := range IntraConfigs {
 			i, cfg := i, cfg
 			tasks = append(tasks, runner.Task{
@@ -388,6 +409,9 @@ type InterResult struct {
 func interTasks(s Scale, opts RunOptions) []runner.Task {
 	var tasks []runner.Task
 	for i, w := range InterWorkloads(s) {
+		if !opts.wants(w.Name) {
+			continue
+		}
 		for _, mode := range InterModes {
 			i, mode := i, mode
 			tasks = append(tasks, runner.Task{

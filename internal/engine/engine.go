@@ -1,22 +1,43 @@
 // Package engine is the execution-driven multiprocessor simulator. Guest
 // threads are ordinary Go functions programmed against the Proc interface
 // (the machine's ISA: loads, stores, WB/INV flavors, synchronization).
-// Each guest runs in its own goroutine but is driven strictly one operation
-// at a time by a single scheduler goroutine, so simulation is fully
-// deterministic: at every step the runnable thread with the smallest local
-// clock executes its next operation (ties broken by thread ID), its latency
-// is computed by the memory hierarchy, and the cycles are attributed to the
-// paper's stall categories (INV, WB, lock, barrier, rest).
+// Each guest runs as a coroutine (iter.Pull) whose operations are executed
+// strictly one at a time by the scheduler, so simulation is fully
+// deterministic: at every step the runnable thread with the smallest
+// local clock executes its next operation (ties broken by thread ID), its
+// latency is computed by the memory hierarchy, and the cycles are
+// attributed to the paper's stall categories (INV, WB, lock, barrier,
+// rest).
 //
 // Synchronization is served by the hwsync controller: threads that cannot
 // be granted immediately are blocked, and grant times produced on release,
 // barrier completion, or flag set wake them — no spinning over the network,
 // matching Section III-D.
+//
+// The engine is event-driven (see DESIGN.md §10): guests deposit
+// operations that return no value into a per-thread ring without waiting
+// for execution and suspend only at loads, so the scheduler's hot loop is
+// a heap pop, a ring pop, the hierarchy call, and a heap re-push. Control
+// moves between a guest and the scheduler by direct coroutine switch —
+// never through the Go scheduler, so there is no goroutine parking or
+// wakeup anywhere on the hot path, and guest and scheduler never run
+// concurrently. Blocked threads leave the run queue entirely; their wake
+// is a grant event whose timestamp re-enters the heap, so when every core
+// is quiescent the pop itself jumps global time directly to the earliest
+// pending grant. Execution order is unchanged from the synchronous
+// engine: the heap pops a unique (time, thread-ID) minimum, and a
+// thread's clock is final before it is re-pushed, so the operation
+// sequence — and therefore every result, event stream, and span — is
+// byte-identical. When an external Scheduler is installed (litmus
+// exploration), the engine falls back to the synchronous one-op
+// rendezvous, which keeps candidate sets (pending ops included)
+// observable at every decision point.
 package engine
 
 import (
 	"context"
 	"fmt"
+	"iter"
 	"sort"
 
 	"repro/internal/hwsync"
@@ -153,12 +174,18 @@ type Observer interface {
 }
 
 // DefaultNoProgressLimit is the livelock watchdog's default window: the
-// number of consecutive scheduler steps without a synchronization grant
+// number of consecutive scheduler events without a synchronization grant
 // or thread completion after which the run is declared livelocked. Spin
 // loops advance simulated time (they compute between probes), so time
 // cannot distinguish a livelock from a long quiet phase — grants can.
 // The default is generous enough that bench-scale sync-free compute
 // phases never trip it.
+//
+// The window counts scheduler events, not simulated cycles, so
+// fast-forwarding over quiescent stretches does not stretch the timeout:
+// a grant that jumps time by a million cycles is still one progressed
+// event, and a spin loop still burns one budget unit per operation no
+// matter how much simulated time each probe charges.
 const DefaultNoProgressLimit = 1 << 26
 
 // LivelockError reports a run aborted by the no-progress watchdog.
@@ -201,6 +228,12 @@ type Engine struct {
 	obs  Observer
 	rec  *obs.Recorder
 
+	// pipelined selects the event-driven protocol (guests deposit ops
+	// asynchronously); it is the default. Installing a Scheduler switches
+	// to the synchronous rendezvous, whose per-decision candidate sets
+	// include every runnable thread's pending op.
+	pipelined bool
+
 	// sched, when non-nil, replaces the default scheduling policy (see
 	// sched.go); cands is its reused candidate buffer and decision counts
 	// the scheduling decisions taken.
@@ -223,17 +256,26 @@ type thread struct {
 	guest   Guest
 	time    int64
 	stalls  stats.Stalls
-	req     chan isa.Op
-	resp    chan mem.Word
-	next    isa.Op // pending op, valid when state == ready
+	pipe    opPipe
+	loadVal mem.Word // pending load result, read by the guest on resume
+	next    isa.Op   // pending op, valid when state == ready (synchronous mode)
+	cur     isa.Op   // blocking sync op, valid while state == blocked
 	state   tstate
 	blockAt int64           // time the blocking request was issued
 	blockAs stats.StallKind // category charged for the wait
 	err     error
-	// poisoned tells the guest (which observes it only after receiving a
-	// response, so the channel ordering makes the write visible) to
-	// unwind instead of issuing more ops; see Engine.shutdown.
-	poisoned bool
+	// pipelined mirrors Engine.pipelined for the guest-side do(); set
+	// before the guest coroutine starts.
+	pipelined bool
+	// Coroutine controls (iter.Pull over guestSeq). resume runs the guest
+	// until its next yield, reporting false once it has returned; halt
+	// unwinds a suspended guest (its pending yield returns false and do
+	// raises the stop sentinel). yield is the guest-side handle, set when
+	// the coroutine first runs. finished latches resume's false.
+	resume   func() (struct{}, bool)
+	halt     func()
+	yield    func(struct{}) bool
+	finished bool
 }
 
 type tstate int
@@ -249,12 +291,7 @@ const (
 func New(h Hierarchy, guests []Guest) *Engine {
 	e := &Engine{h: h, ctrl: hwsync.New(h.SyncCost)}
 	for i, g := range guests {
-		e.ts = append(e.ts, &thread{
-			id:    i,
-			guest: g,
-			req:   make(chan isa.Op),
-			resp:  make(chan mem.Word),
-		})
+		e.ts = append(e.ts, &thread{id: i, guest: g})
 	}
 	return e
 }
@@ -268,8 +305,9 @@ func (e *Engine) SetObserver(o Observer) { e.obs = o }
 // default). When set, the engine advances the recorder's simulated clock
 // each step and emits one span per stall attribution — the same
 // (kind, cycles) pairs that land in Result.Stalls, so the recorder's
-// per-kind totals reconcile exactly with the run result. Call before
-// Run.
+// per-kind totals reconcile exactly with the run result, including across
+// fast-forwarded quiescent stretches (a woken thread's wait span covers
+// exactly the skipped interval). Call before Run.
 func (e *Engine) SetRecorder(r *obs.Recorder) { e.rec = r }
 
 // Run executes all guests to completion and returns the run result. It is
@@ -285,17 +323,102 @@ func (e *Engine) Run() (*Result, error) {
 const ctxPollMask = 255
 
 // RunCtx is Run with cooperative preemption: the step loop polls ctx and
-// aborts the run when it is canceled, unwinding every guest goroutine
-// before returning (no goroutines outlive RunCtx, whatever the exit
-// path). A no-progress watchdog likewise aborts runs that stop granting
+// aborts the run when it is canceled, unwinding every guest coroutine
+// before returning (no guest outlives RunCtx, whatever the exit path). A
+// no-progress watchdog likewise aborts runs that stop granting
 // synchronization while still burning steps — the livelock shape (e.g. a
 // spin loop whose flag store was lost) that the deadlock check cannot
 // see. Simulation results are identical to Run's; cancellation and the
 // watchdog only decide whether the run completes.
 func (e *Engine) RunCtx(ctx context.Context) (*Result, error) {
+	e.pipelined = e.sched == nil
 	for _, t := range e.ts {
-		go runGuest(t, len(e.ts))
+		t.pipelined = e.pipelined
+		t.resume, t.halt = iter.Pull(guestSeq(t, len(e.ts)))
 	}
+	if e.pipelined {
+		return e.runPipelined(ctx)
+	}
+	return e.runSynchronous(ctx)
+}
+
+// runPipelined is the event-driven scheduler loop. Every non-done,
+// non-blocked thread is either in the run queue keyed by (local clock,
+// ID) or held in hand as the current minimum; each iteration receives the
+// minimum thread's next deposited op (already in its pipe unless the
+// guest is still computing), executes it, and keeps the thread in hand
+// while its advanced clock is still the global minimum — the common case
+// under the default policy's 23% same-thread run length, and the case
+// where the heap is skipped entirely. A pop that finds the guest's pipe
+// closed retires the thread. Blocked threads re-enter the queue from
+// wake(), timestamped at their grant — which is what makes a fully
+// quiescent machine jump straight to the earliest pending event.
+func (e *Engine) runPipelined(ctx context.Context) (*Result, error) {
+	for _, t := range e.ts {
+		e.rq.push(t)
+	}
+	res := &Result{PerThread: make([]stats.Stalls, len(e.ts))}
+	limit := e.NoProgressLimit
+	if limit <= 0 {
+		limit = DefaultNoProgressLimit
+	}
+	stop := ctx.Done()
+	var steps, idle int64
+	t := e.rq.pop()
+	for {
+		if stop != nil && steps&ctxPollMask == 0 {
+			select {
+			case <-stop:
+				e.shutdown()
+				return nil, fmt.Errorf("engine: run canceled: %w", ctx.Err())
+			default:
+			}
+		}
+		steps++
+		if t == nil {
+			if e.allDone() {
+				break
+			}
+			err := e.deadlockError()
+			e.shutdown()
+			return nil, err
+		}
+		op, ok := e.nextOp(t)
+		runnable := false
+		if !ok {
+			t.state = done
+			e.progressed = true
+		} else {
+			var err error
+			if runnable, err = e.stepPipelined(t, op, res); err != nil {
+				e.shutdown()
+				return nil, err
+			}
+		}
+		if e.progressed {
+			e.progressed = false
+			idle = 0
+		} else if idle++; idle >= limit {
+			err := &LivelockError{Steps: idle, Blocked: e.blockedIDs()}
+			e.shutdown()
+			return nil, err
+		}
+		if runnable {
+			if m := e.rq.peek(); m != nil && runqLess(m, t) {
+				t = e.rq.swapMin(t)
+			}
+		} else {
+			t = e.rq.pop()
+		}
+	}
+	return e.finish(res)
+}
+
+// runSynchronous is the rendezvous scheduler loop used under an external
+// Scheduler: each step receives the chosen thread's op through a full
+// guest round trip, so every runnable thread's pending op is known at
+// every decision point.
+func (e *Engine) runSynchronous(ctx context.Context) (*Result, error) {
 	// Receive each thread's first op.
 	for _, t := range e.ts {
 		e.recvNext(t)
@@ -305,12 +428,12 @@ func (e *Engine) RunCtx(ctx context.Context) (*Result, error) {
 	if limit <= 0 {
 		limit = DefaultNoProgressLimit
 	}
-	done := ctx.Done()
+	stop := ctx.Done()
 	var steps, idle int64
 	for {
-		if done != nil && steps&ctxPollMask == 0 {
+		if stop != nil && steps&ctxPollMask == 0 {
 			select {
-			case <-done:
+			case <-stop:
 				e.shutdown()
 				return nil, fmt.Errorf("engine: run canceled: %w", ctx.Err())
 			default:
@@ -343,6 +466,11 @@ func (e *Engine) RunCtx(ctx context.Context) (*Result, error) {
 			return nil, err
 		}
 	}
+	return e.finish(res)
+}
+
+// finish folds per-thread outcomes into the result after a clean run.
+func (e *Engine) finish(res *Result) (*Result, error) {
 	for i, t := range e.ts {
 		if t.err != nil {
 			return nil, fmt.Errorf("engine: thread %d: %w", i, t.err)
@@ -357,12 +485,30 @@ func (e *Engine) RunCtx(ctx context.Context) (*Result, error) {
 	return res, nil
 }
 
-// shutdown unwinds every live guest goroutine. Outside the rendezvous
-// protocol a guest is always at (or headed for) its response receive, so
-// poisoning the thread and completing the response makes the guest's
-// next do() panic with a sentinel that runGuest swallows; draining the
-// request channel then waits for the guest's deferred close. After
-// shutdown no engine goroutines remain.
+// nextOp returns thread t's next operation, resuming the guest coroutine
+// when its ring is empty; ok is false once the guest has returned and its
+// ring has drained. Resuming with an empty ring is what makes do's load
+// protocol sound: every op the guest deposited before suspending —
+// including the load whose value it is waiting for — has already
+// executed.
+func (e *Engine) nextOp(t *thread) (*isa.Op, bool) {
+	for {
+		if op, ok := t.pipe.tryPop(); ok {
+			return op, true
+		}
+		if t.finished {
+			return nil, false
+		}
+		if _, more := t.resume(); !more {
+			t.finished = true
+		}
+	}
+}
+
+// shutdown unwinds every live guest coroutine: halt makes the guest's
+// pending (or next) yield return false, which do converts into the stop
+// sentinel, and the unwind runs to completion inside the halt call — no
+// guest survives shutdown.
 func (e *Engine) shutdown() {
 	if e.stopped {
 		return
@@ -372,10 +518,7 @@ func (e *Engine) shutdown() {
 		if t.state == done {
 			continue
 		}
-		t.poisoned = true
-		t.resp <- 0
-		for range t.req {
-		}
+		t.halt()
 		t.state = done
 	}
 }
@@ -414,9 +557,13 @@ func (e *Engine) deadlockError() error {
 		waiting, e.ctrl.Blocked())
 }
 
-// step executes thread t's pending op.
-func (e *Engine) step(t *thread, res *Result) error {
-	op := t.next
+// stepPipelined executes op for thread t, reporting whether t is still
+// runnable (not blocked in the controller). Only load results are sent
+// back to the guest; every other op was deposited fire-and-forget. A
+// thread woken by its own op (the last barrier arrival) re-enters the
+// run queue through wake and reports not-runnable here, so it is never
+// both queued and in hand.
+func (e *Engine) stepPipelined(t *thread, op *isa.Op, res *Result) (bool, error) {
 	res.Ops[op.Kind]++
 	if e.rec != nil {
 		e.rec.SetNow(t.time)
@@ -425,7 +572,46 @@ func (e *Engine) step(t *thread, res *Result) error {
 		e.h.EpochBoundary(t.id)
 		return e.stepSync(t, op)
 	}
+	val, err := e.execOp(t, op)
+	if err != nil {
+		return false, err
+	}
+	if op.Kind == isa.OpLoad || op.Kind == isa.OpLoadU {
+		t.loadVal = val
+	}
+	return true, nil
+}
 
+// step executes thread t's pending op under the synchronous protocol.
+func (e *Engine) step(t *thread, res *Result) error {
+	op := &t.next
+	res.Ops[op.Kind]++
+	if e.rec != nil {
+		e.rec.SetNow(t.time)
+	}
+	if op.Kind.IsSync() {
+		e.h.EpochBoundary(t.id)
+		runnable, err := e.stepSync(t, op)
+		if err != nil {
+			return err
+		}
+		if runnable {
+			e.reply(t, 0)
+		}
+		return nil
+	}
+	val, err := e.execOp(t, op)
+	if err != nil {
+		return err
+	}
+	e.reply(t, val)
+	return nil
+}
+
+// execOp performs a non-sync op against the hierarchy and charges its
+// cycles: one issue slot of busy time plus the exposed latency under the
+// op's stall category. It returns the loaded value for load kinds.
+func (e *Engine) execOp(t *thread, op *isa.Op) (mem.Word, error) {
 	var val mem.Word
 	var lat int64
 	var kind stats.StallKind
@@ -448,8 +634,7 @@ func (e *Engine) step(t *thread, res *Result) error {
 		if e.rec != nil {
 			e.rec.Span(t.id, stats.Busy, t.time-op.Cycles, op.Cycles)
 		}
-		e.reply(t, 0)
-		return nil
+		return 0, nil
 	case isa.OpWB:
 		lat = e.h.WB(t.id, op.Range, op.Level)
 		kind = stats.WBStall
@@ -484,9 +669,8 @@ func (e *Engine) step(t *thread, res *Result) error {
 		lat = e.h.INVSig(t.id, op.ID)
 		kind = stats.INVStall
 	default:
-		return fmt.Errorf("engine: thread %d issued unknown op %v", t.id, op)
+		return 0, fmt.Errorf("engine: thread %d issued unknown op %v", t.id, op)
 	}
-	// One issue slot of busy time plus the exposed latency.
 	cpi := int64(1)
 	t.time += cpi + lat
 	t.stalls.Add(stats.Busy, cpi)
@@ -497,26 +681,27 @@ func (e *Engine) step(t *thread, res *Result) error {
 		e.rec.Span(t.id, kind, start+cpi, lat)
 	}
 	if e.obs != nil {
-		e.obs.OnEvent(Event{Kind: EvOp, Thread: t.id, Op: op, Value: val, Time: t.time})
+		e.obs.OnEvent(Event{Kind: EvOp, Thread: t.id, Op: *op, Value: val, Time: t.time})
 	}
-	e.reply(t, val)
-	return nil
+	return val, nil
 }
 
 // stepSync executes a synchronization op, blocking the thread when the
-// controller cannot grant immediately.
-func (e *Engine) stepSync(t *thread, op isa.Op) error {
+// controller cannot grant immediately. Shared by both protocols; the
+// returned flag reports whether t may continue directly (true) or was
+// either parked in the controller or re-entered through wake (false —
+// barriers always resume via wake, even for the last arrival). How a
+// woken thread resumes is wake's mode branch.
+func (e *Engine) stepSync(t *thread, op *isa.Op) (bool, error) {
 	if e.obs != nil {
-		e.obs.OnEvent(Event{Kind: EvSyncIssue, Thread: t.id, Op: op, Time: t.time})
+		e.obs.OnEvent(Event{Kind: EvSyncIssue, Thread: t.id, Op: *op, Time: t.time})
 	}
 	switch op.Kind {
 	case isa.OpAcquire:
 		at, ok := e.ctrl.Acquire(t.id, op.ID, t.time)
 		if !ok {
-			t.state = blocked
-			t.blockAt = t.time
-			t.blockAs = stats.LockStall
-			return nil
+			e.block(t, op, stats.LockStall)
+			return false, nil
 		}
 		t.stalls.Add(stats.LockStall, at-t.time)
 		if e.rec != nil {
@@ -524,42 +709,33 @@ func (e *Engine) stepSync(t *thread, op isa.Op) error {
 		}
 		t.time = at
 		e.granted(t, op, at)
-		e.reply(t, 0)
+		return true, nil
 	case isa.OpRelease:
 		// Posted: the releaser does not wait for the controller.
 		grant, ok := e.ctrl.Release(t.id, op.ID, t.time)
-		e.reply(t, 0)
 		if ok {
 			e.wake(grant)
 		}
+		return true, nil
 	case isa.OpBarrier:
 		grants := e.ctrl.BarrierArrive(t.id, op.ID, t.time, len(e.ts))
-		if grants == nil {
-			t.state = blocked
-			t.blockAt = t.time
-			t.blockAs = stats.BarrierStall
-			return nil
-		}
+		e.block(t, op, stats.BarrierStall)
 		// Last arrival: wake everyone, including this thread.
-		t.state = blocked
-		t.blockAt = t.time
-		t.blockAs = stats.BarrierStall
 		for _, g := range grants {
 			e.wake(g)
 		}
+		return false, nil
 	case isa.OpFlagSet:
 		grants := e.ctrl.FlagSet(t.id, op.ID, int64(op.Value), t.time)
-		e.reply(t, 0)
 		for _, g := range grants {
 			e.wake(g)
 		}
+		return true, nil
 	case isa.OpFlagWait:
 		at, ok := e.ctrl.FlagWait(t.id, op.ID, int64(op.Value), t.time)
 		if !ok {
-			t.state = blocked
-			t.blockAt = t.time
-			t.blockAs = stats.FlagStall
-			return nil
+			e.block(t, op, stats.FlagStall)
+			return false, nil
 		}
 		t.stalls.Add(stats.FlagStall, at-t.time)
 		if e.rec != nil {
@@ -567,23 +743,34 @@ func (e *Engine) stepSync(t *thread, op isa.Op) error {
 		}
 		t.time = at
 		e.granted(t, op, at)
-		e.reply(t, 0)
+		return true, nil
 	default:
-		return fmt.Errorf("engine: thread %d issued unknown sync op %v", t.id, op)
+		return false, fmt.Errorf("engine: thread %d issued unknown sync op %v", t.id, op)
 	}
-	return nil
 }
 
-// granted records an immediately-granted blocking sync op: watchdog
-// progress plus the observer's done event.
-func (e *Engine) granted(t *thread, op isa.Op, at int64) {
+// block parks t in the controller on op, recording what the eventual
+// wait will be charged as.
+func (e *Engine) block(t *thread, op *isa.Op, as stats.StallKind) {
+	t.state = blocked
+	t.cur = *op
+	t.blockAt = t.time
+	t.blockAs = as
+}
+
+// granted records a completed blocking sync op: watchdog progress plus
+// the observer's done event.
+func (e *Engine) granted(t *thread, op *isa.Op, at int64) {
 	e.progressed = true
 	if e.obs != nil {
-		e.obs.OnEvent(Event{Kind: EvSyncDone, Thread: t.id, Op: op, Time: at})
+		e.obs.OnEvent(Event{Kind: EvSyncDone, Thread: t.id, Op: *op, Time: at})
 	}
 }
 
-// wake unblocks a thread granted by the controller.
+// wake unblocks a thread granted by the controller. All accounting —
+// the wait span, the clock jump to the grant time, the done event —
+// happens here, at grant creation, so the event stream and spans are
+// identical whichever protocol resumes the thread.
 func (e *Engine) wake(g hwsync.Grant) {
 	t := e.ts[g.Thread]
 	if t.state != blocked {
@@ -599,69 +786,92 @@ func (e *Engine) wake(g hwsync.Grant) {
 	}
 	t.time = g.At
 	t.state = ready
-	// t.next still holds the blocking sync op here: recvNext runs only
-	// inside the reply below.
-	e.granted(t, t.next, g.At)
-	e.reply(t, 0)
+	e.granted(t, &t.cur, g.At)
+	if e.pipelined {
+		e.rq.push(t)
+	} else {
+		e.reply(t, 0)
+	}
 }
 
-// reply sends the op's result to the guest and receives its next op.
+// reply records the op's result for the guest and receives its next op
+// (synchronous protocol only).
 func (e *Engine) reply(t *thread, val mem.Word) {
-	t.resp <- val
+	t.loadVal = val
 	e.recvNext(t)
 }
 
-// recvNext receives thread t's next op, marking it done when the guest
-// returns. This is the single point where a thread becomes ready, and
-// t.time is already final here, so it is also the single push site.
+// recvNext receives thread t's next op under the synchronous protocol,
+// marking it done when the guest returns. Ready threads are found by
+// scanning e.ts (see next), so the run queue stays unused in this mode.
 func (e *Engine) recvNext(t *thread) {
-	op, ok := <-t.req
+	op, ok := e.nextOp(t)
 	if !ok {
 		t.state = done
 		e.progressed = true
 		return
 	}
-	t.next = op
+	t.next = *op
 	t.state = ready
-	// With an external scheduler ready threads are found by scanning
-	// e.ts (see next), so the run queue stays unused.
-	if e.sched == nil {
-		e.rq.push(t)
-	}
 }
 
-// stopSentinel is the panic value do() raises when the engine poisons a
-// thread during shutdown; runGuest swallows it so preemption is not
+// stopSentinel is the panic value do() raises when the engine halts a
+// thread during shutdown; guestSeq swallows it so preemption is not
 // reported as a guest failure.
 type stopSentinel struct{}
 
-// runGuest runs one guest with panic capture.
-func runGuest(t *thread, n int) {
-	defer close(t.req)
-	defer func() {
-		if r := recover(); r != nil {
-			if _, stopped := r.(stopSentinel); stopped {
-				return
+// guestSeq adapts one guest to a coroutine body for iter.Pull, with panic
+// capture. The guest runs only while the scheduler is inside resume; a
+// yield returning false (the scheduler called halt) unwinds it via the
+// stop sentinel.
+func guestSeq(t *thread, n int) iter.Seq[struct{}] {
+	return func(yield func(struct{}) bool) {
+		t.yield = yield
+		defer func() {
+			if r := recover(); r != nil {
+				if _, stopped := r.(stopSentinel); stopped {
+					return
+				}
+				t.err = fmt.Errorf("guest panic: %v", r)
 			}
-			t.err = fmt.Errorf("guest panic: %v", r)
-		}
-	}()
-	t.guest(&proc{t: t, n: n})
+		}()
+		t.guest(&proc{t: t, n: n})
+	}
 }
 
-// proc implements Proc by round-tripping ops through the engine.
+// proc implements Proc over the thread's op ring. In pipelined mode ops
+// that return no value are deposited without suspending the guest —
+// program order is preserved by the ring, and the scheduler executes at
+// most one of this thread's ops at a time — while loads yield control
+// until their value arrives. In synchronous mode every op is a full
+// yield/resume rendezvous.
 type proc struct {
 	t *thread
 	n int
 }
 
 func (p *proc) do(op isa.Op) mem.Word {
-	p.t.req <- op
-	v := <-p.t.resp
-	if p.t.poisoned {
+	t := p.t
+	for !t.pipe.tryPush(op) {
+		// Ring full: hand control back until the scheduler drains it.
+		if !t.yield(struct{}{}) {
+			panic(stopSentinel{})
+		}
+	}
+	if t.pipelined {
+		switch op.Kind {
+		case isa.OpLoad, isa.OpLoadU:
+			// A load suspends the guest. The scheduler resumes it only
+			// once its ring is empty (see nextOp), by which point the
+			// load has executed and left its value in loadVal.
+		default:
+			return 0
+		}
+	}
+	if !t.yield(struct{}{}) {
 		panic(stopSentinel{})
 	}
-	return v
+	return t.loadVal
 }
 
 func (p *proc) ID() int         { return p.t.id }

@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// countingHierarchy wraps nullHierarchy and counts hierarchy calls, so
+// tests can pin exactly how many operations the engine executed before an
+// abort — the fast-forward rewrite must not change where the watchdog or
+// the deadlock check cuts a run off.
+type countingHierarchy struct {
+	*nullHierarchy
+	loads, stores, invs int64
+}
+
+func newCountingHierarchy() *countingHierarchy {
+	return &countingHierarchy{nullHierarchy: newNullHierarchy()}
+}
+
+func (c *countingHierarchy) Load(core int, a mem.Addr) (mem.Word, int64) {
+	c.loads++
+	return c.nullHierarchy.Load(core, a)
+}
+
+func (c *countingHierarchy) Store(core int, a mem.Addr, v mem.Word) int64 {
+	c.stores++
+	return c.nullHierarchy.Store(core, a, v)
+}
+
+func (c *countingHierarchy) INV(core int, r mem.Range, lvl isa.Level) int64 {
+	c.invs++
+	return c.nullHierarchy.INV(core, r, lvl)
+}
+
+// TestWatchdogTripPinned pins the livelock watchdog's trip point. A spin
+// loop that burns scheduler events without ever being granted is the
+// livelock shape; the watchdog must trip after exactly NoProgressLimit
+// no-progress events, having executed exactly that many operations —
+// before and after fast-forward. If skipped cycles stopped counting
+// toward the grant budget, the op counts here would grow (the timeout
+// would silently lengthen); if they double-counted, they would shrink.
+func TestWatchdogTripPinned(t *testing.T) {
+	const limit = 5000
+	h := newCountingHierarchy()
+	flag := mem.Addr(0x2000)
+	guests := []Guest{func(p Proc) {
+		for p.Load(flag) == 0 {
+			p.INV(mem.WordRange(flag, 1))
+		}
+	}}
+	e := New(h, guests)
+	e.NoProgressLimit = limit
+	_, err := e.Run()
+	var ll *LivelockError
+	if !errors.As(err, &ll) {
+		t.Fatalf("err = %v, want LivelockError", err)
+	}
+	if ll.Steps != limit {
+		t.Errorf("Steps = %d, want exactly %d", ll.Steps, limit)
+	}
+	// The spin loop alternates Load and INV, one op per scheduler event:
+	// the trip point pins the executed-op total to the no-progress limit.
+	if got := h.loads + h.invs; got != limit {
+		t.Errorf("executed %d ops (%d loads + %d invs) before trip, want %d",
+			got, h.loads, h.invs, limit)
+	}
+	if len(ll.Blocked) != 0 {
+		t.Errorf("Blocked = %v, want none (spinning, not parked)", ll.Blocked)
+	}
+}
+
+// TestWatchdogCountsAcrossQuiescence pins watchdog accounting around
+// grant-driven wakes: a two-thread lock ping-pong with long quiescent
+// stretches (every event is a grant or follows one) must never trip even
+// with a tiny window, while the same shape with the grants removed must.
+func TestWatchdogCountsAcrossQuiescence(t *testing.T) {
+	h := newNullHierarchy()
+	guests := []Guest{
+		func(p Proc) {
+			for i := 0; i < 300; i++ {
+				p.Acquire(0)
+				p.Compute(50)
+				p.Release(0)
+			}
+		},
+		func(p Proc) {
+			for i := 0; i < 300; i++ {
+				p.Acquire(0)
+				p.Compute(70)
+				p.Release(0)
+			}
+		},
+	}
+	e := New(h, guests)
+	e.NoProgressLimit = 25
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("lock ping-pong tripped the watchdog: %v", err)
+	}
+}
+
+// TestAllBlockedNoPendingEvent pins the quiescence edge case where every
+// core is blocked and no wake event is pending: the engine must diagnose
+// a deadlock immediately (not hang, not livelock-trip). The holder
+// finishes without releasing, so the waiters' grants never exist.
+func TestAllBlockedNoPendingEvent(t *testing.T) {
+	h := newCountingHierarchy()
+	guests := []Guest{
+		func(p Proc) { p.Acquire(0); p.Store(0x100, 1) }, // exits holding the lock
+		func(p Proc) { p.Compute(10); p.Acquire(0) },
+		func(p Proc) { p.Compute(20); p.Acquire(0) },
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := New(h, guests).Run()
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if err == nil || !strings.Contains(err.Error(), "deadlock") {
+			t.Fatalf("err = %v, want deadlock", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("engine hung with all cores blocked and no pending event")
+	}
+	if h.stores != 1 {
+		t.Errorf("stores = %d, want 1 (holder ran to completion)", h.stores)
+	}
+}
+
+// TestZeroCoreEngine pins the degenerate machine: an engine over no
+// guests completes immediately with an empty result, and a canceled
+// context still reports cancellation rather than success.
+func TestZeroCoreEngine(t *testing.T) {
+	h := newNullHierarchy()
+	res, err := New(h, nil).Run()
+	if err != nil {
+		t.Fatalf("zero-core run failed: %v", err)
+	}
+	if res.Cycles != 0 || len(res.PerThread) != 0 {
+		t.Errorf("zero-core result = %+v, want empty", res)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New(h, nil).RunCtx(ctx); err == nil || !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled zero-core run: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestStallSpansReconcileAcrossFastForward pins the observability
+// invariant of DESIGN.md §10: a woken thread's wait span covers exactly
+// the fast-forwarded interval, so the recorder's per-kind span totals
+// equal the engine's Result.Stalls even though blocked threads are never
+// stepped. The workload mixes lock contention, a barrier, and staggered
+// compute so every stall category with a wait (lock, barrier) crosses
+// skipped stretches.
+func TestStallSpansReconcileAcrossFastForward(t *testing.T) {
+	h := newNullHierarchy()
+	guests := make([]Guest, 6)
+	for i := range guests {
+		i := i
+		guests[i] = func(p Proc) {
+			for k := 0; k < 50; k++ {
+				p.Compute(int64(10 + i*37))
+				p.Acquire(1)
+				p.Store(0x40, mem.Word(i))
+				p.Release(1)
+			}
+			p.Barrier(2)
+			p.Load(0x40)
+		}
+	}
+	e := New(h, guests)
+	rec := obs.New(obs.Config{})
+	e.SetRecorder(rec)
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalls[stats.LockStall] == 0 || res.Stalls[stats.BarrierStall] == 0 {
+		t.Fatalf("workload produced no sync waits: %v", res.Stalls)
+	}
+	tot := rec.TraceData().StallTotals()
+	for k := stats.StallKind(0); k < stats.NumStallKinds; k++ {
+		if tot[k] != res.Stalls[k] {
+			t.Errorf("%v: trace total %d != engine stalls %d", k, tot[k], res.Stalls[k])
+		}
+	}
+}
+
+// TestWakeOnPollBoundary pins determinism when a wake event lands on the
+// same scheduler event as a cooperative-preemption poll (every 256
+// events): the result must be identical with and without a live context,
+// and identical across runs. The staggered computes put lock grants at
+// varying positions relative to the poll mask.
+func TestWakeOnPollBoundary(t *testing.T) {
+	run := func(viaCtx bool) *Result {
+		h := newNullHierarchy()
+		guests := make([]Guest, 4)
+		for i := range guests {
+			i := i
+			guests[i] = func(p Proc) {
+				for k := 0; k < 200; k++ {
+					p.Acquire(3)
+					p.Compute(int64(1 + (i+k)%5))
+					p.Release(3)
+					p.Store(mem.Addr(0x1000+i*64), mem.Word(k))
+				}
+			}
+		}
+		e := New(h, guests)
+		var res *Result
+		var err error
+		if viaCtx {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			res, err = e.RunCtx(ctx)
+		} else {
+			res, err = e.Run()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b, c := run(false), run(true), run(false)
+	if a.Cycles != b.Cycles || a.Stalls != b.Stalls {
+		t.Errorf("ctx run diverged: %v vs %v", a.Cycles, b.Cycles)
+	}
+	if a.Cycles != c.Cycles || a.Stalls != c.Stalls {
+		t.Errorf("repeat run diverged: %v vs %v", a.Cycles, c.Cycles)
+	}
+	if a.Stalls[stats.LockStall] == 0 {
+		t.Error("expected lock contention in the pinning workload")
+	}
+}

@@ -22,6 +22,17 @@ func runqLess(a, b *thread) bool {
 
 func (q *runq) len() int { return len(q.ts) }
 
+// peek returns the minimum-key thread without removing it (nil when
+// empty). The pipelined loop compares its in-hand thread against this
+// minimum to skip the push/pop pair whenever the same thread stays
+// minimal across consecutive steps.
+func (q *runq) peek() *thread {
+	if len(q.ts) == 0 {
+		return nil
+	}
+	return q.ts[0]
+}
+
 func (q *runq) push(t *thread) {
 	q.ts = append(q.ts, t)
 	i := len(q.ts) - 1
@@ -48,6 +59,18 @@ func (q *runq) pop() *thread {
 		q.ts[0] = last
 		q.siftDown(0)
 	}
+	return top
+}
+
+// swapMin exchanges t with the current minimum in a single sift: t takes
+// the root's place and settles down, and the old root is returned. Only
+// valid when the queue is non-empty and the root orders before t — the
+// fused form of push(t) followed by pop() that the pipelined loop uses
+// when its in-hand thread loses the minimum.
+func (q *runq) swapMin(t *thread) *thread {
+	top := q.ts[0]
+	q.ts[0] = t
+	q.siftDown(0)
 	return top
 }
 

@@ -89,6 +89,13 @@ func WithObserver(f func(workload, config string, rec *Recorder)) Option {
 	return func(o *RunOptions) { o.Observer = f }
 }
 
+// WithOnly restricts a sweep to the named workloads (unknown names are
+// ignored; an empty list means all). Figures are built from whatever
+// cells ran.
+func WithOnly(workloads ...string) Option {
+	return func(o *RunOptions) { o.Only = workloads }
+}
+
 // RunIntra executes the intra-block sweep (Figures 9 and 10) at scale s
 // under the given options; it is the options form of RunIntraBlockOpts
 // and shares its partial-result error semantics.

@@ -17,10 +17,22 @@ import (
 )
 
 func TestPagedAndOracleStoresEmitIdenticalJSON(t *testing.T) {
+	// Under -short, cover a representative subset instead of simulating
+	// the full sweep twice: a barrier-heavy app, a lock-heavy one, and a
+	// producer/consumer one still exercise every store-visible path
+	// (line fills, writebacks, footprint accounting) at a fraction of
+	// the wall clock.
+	opts := RunOptions{Parallel: 4}
+	if testing.Short() {
+		ws := IntraWorkloads(ScaleTest)
+		for _, w := range ws[:3] {
+			opts.Only = append(opts.Only, w.Name)
+		}
+	}
 	run := func(oracle bool) []byte {
 		mem.UseOracleStore(oracle)
 		defer mem.UseOracleStore(false)
-		res, err := RunIntraBlockOpts(context.Background(), ScaleTest, RunOptions{Parallel: 4})
+		res, err := RunIntraBlockOpts(context.Background(), ScaleTest, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
