@@ -556,9 +556,15 @@ func BenchmarkExtensionDMA(b *testing.B) {
 // BenchmarkExtensionBlockScaling measures how the level-adaptive benefit
 // depends on cluster count: with more, smaller clusters a smaller fraction
 // of Jacobi's neighbor exchanges stays intra-block, so more of Addr's
-// global operations survive under Addr+L.
+// global operations survive under Addr+L. The full sweep runs powers of
+// two up to 128 blocks (1024 cores) on the block-parallel engine; -short
+// keeps the original small machines.
 func BenchmarkExtensionBlockScaling(b *testing.B) {
-	for _, blocks := range []int{2, 4, 8} {
+	blockCounts := []int{2, 4, 8, 16, 32, 64, 128}
+	if testing.Short() {
+		blockCounts = []int{2, 4, 8}
+	}
+	for _, blocks := range blockCounts {
 		blocks := blocks
 		b.Run(benchName("blocks", blocks), func(b *testing.B) {
 			var frac float64
@@ -568,6 +574,7 @@ func BenchmarkExtensionBlockScaling(b *testing.B) {
 					m.Params.TraversalPerFrame = 4
 					l1, l2, l3 := scaledCacheConfig(m)
 					h := core.New(m, core.Config{L1: l1, L2: l2, L3: l3})
+					h.SetBlockParallel(true)
 					w := jacobi.New(jacobi.Bench, m.NumCores())
 					if _, err := w.Run(h, compilerMode(mode)); err != nil {
 						b.Fatal(err)
@@ -579,6 +586,45 @@ func BenchmarkExtensionBlockScaling(b *testing.B) {
 				frac = ratio(float64(wbL+invL), float64(wbA+invA))
 			}
 			b.ReportMetric(frac, "global_frac_vs_addr")
+		})
+	}
+}
+
+// BenchmarkManycoreScaling is the wall-clock companion to the E7
+// block-scaling experiment: one Jacobi cell per machine size, serial vs
+// block-parallel engine, up to 128 blocks × 8 cores. The reported
+// sim_cycles per size must be identical across the two engines; ns/op is
+// the simulator-speed curve that feeds BENCH_manycore.json.
+func BenchmarkManycoreScaling(b *testing.B) {
+	blockCounts := ManycoreBlockCounts(128)
+	if testing.Short() {
+		blockCounts = ManycoreBlockCounts(8)
+	}
+	for _, eng := range []struct {
+		name string
+		par  bool
+	}{{"serial", false}, {"block-parallel", true}} {
+		eng := eng
+		b.Run(eng.name, func(b *testing.B) {
+			for _, blocks := range blockCounts {
+				blocks := blocks
+				b.Run(benchName("blocks", blocks), func(b *testing.B) {
+					var r *Result
+					for i := 0; i < b.N; i++ {
+						m := NewManycoreMachine(blocks, DefaultManycoreCoresPerBlock)
+						l1, l2, l3 := scaledCacheConfig(m)
+						h := core.New(m, core.Config{L1: l1, L2: l2, L3: l3})
+						h.SetBlockParallel(eng.par)
+						w := jacobi.New(jacobi.Bench, m.NumCores())
+						var err error
+						r, err = w.Run(h, compilerMode(ModeAddrL))
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(r.Cycles), "sim_cycles")
+				})
+			}
 		})
 	}
 }

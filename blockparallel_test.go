@@ -1,0 +1,147 @@
+package hic
+
+// Determinism and scale tests for the block-parallel engine: the sweep
+// documents — figures, run records, metrics snapshots — must be
+// byte-identical whether incoherent-hierarchy cells execute on the
+// serial scheduler or on one goroutine per block, and the many-core
+// block-scaling sweep (up to 128 blocks × 8 cores = 1024 simulated
+// cores) must complete inside the tier-1 test budget.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestBlockParallelInterSweepMatchesSerial is the headline determinism
+// gate for the block-parallel executor: the inter-block machine has four
+// blocks, so every incoherent cell actually exercises the sharded path,
+// and the resulting JSON document must equal the serial one byte for
+// byte. Coherence checking is deliberately off — an attached oracle
+// records per-load values but the engine result must already match.
+func TestBlockParallelInterSweepMatchesSerial(t *testing.T) {
+	serial, err := RunInter(context.Background(), ScaleTest, WithParallel(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunInter(context.Background(), ScaleTest, WithParallel(2), WithBlockParallel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj := encodeDoc(t, serial.Document(ScaleTest))
+	pj := encodeDoc(t, par.Document(ScaleTest))
+	if !bytes.Equal(sj, pj) {
+		t.Errorf("inter sweep differs between serial and block-parallel engines:\nserial:\n%s\nblock-parallel:\n%s", sj, pj)
+	}
+}
+
+// TestBlockParallelIntraSweepMatchesSerial covers the single-block
+// machine: ParallelShards degrades to 1 there, so the option must be an
+// exact no-op.
+func TestBlockParallelIntraSweepMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the intra sweep twice")
+	}
+	serial, err := RunIntra(context.Background(), ScaleTest, WithParallel(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunIntra(context.Background(), ScaleTest, WithParallel(2), WithBlockParallel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeDoc(t, serial.Document(ScaleTest)), encodeDoc(t, par.Document(ScaleTest))) {
+		t.Error("intra sweep differs between serial and block-parallel engines")
+	}
+}
+
+// TestBlockParallelMetricsSnapshotsMatchSerial pins the degrade contract
+// for observability: a recorder-attached run is not sharded (the
+// recorder samples freely across cores), so requesting both metrics and
+// block parallelism must still produce the exact serial document,
+// hic-metrics/v1 snapshots included.
+func TestBlockParallelMetricsSnapshotsMatchSerial(t *testing.T) {
+	serial, err := RunInter(context.Background(), ScaleTest, WithParallel(2), WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunInter(context.Background(), ScaleTest, WithParallel(2), WithMetrics(), WithBlockParallel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj := encodeDoc(t, serial.Document(ScaleTest))
+	pj := encodeDoc(t, par.Document(ScaleTest))
+	if !bytes.Equal(sj, pj) {
+		t.Error("metrics-bearing inter sweep differs between serial and block-parallel engines")
+	}
+	for _, r := range par.Runs {
+		if r.Metrics == nil {
+			t.Fatalf("%s/%s: no metrics snapshot under block parallelism", r.Workload, r.Config)
+		}
+	}
+}
+
+// TestBlockParallelSeededFaultSweepMatchesSerial pins the other degrade
+// path: a fault plan forces serial execution (fault cursors are global
+// state), and the seeded sweep's document — detected violations and all
+// — must be unchanged by the option.
+func TestBlockParallelSeededFaultSweepMatchesSerial(t *testing.T) {
+	opts := func(blockPar bool) RunOptions {
+		o := RunOptions{
+			Parallel:       2,
+			CheckCoherence: true,
+			Faults:         "drop-wb@rand; skip-inv@rand; seed=7",
+		}
+		o.BlockParallel = blockPar
+		return o
+	}
+	// Injected faults make cells fail with detected coherence violations;
+	// that is the experiment working, so only the documents are compared.
+	serial, _ := RunIntraBlockOpts(context.Background(), ScaleTest, opts(false))
+	par, _ := RunIntraBlockOpts(context.Background(), ScaleTest, opts(true))
+	if !bytes.Equal(encodeDoc(t, serial.Document(ScaleTest)), encodeDoc(t, par.Document(ScaleTest))) {
+		t.Error("seeded fault sweep differs between serial and block-parallel engines")
+	}
+}
+
+// TestManycoreSweepMatchesSerial runs the block-scaling experiment both
+// ways on machines where the sharded path is really taken (2 and 4
+// blocks) and requires byte-identical documents.
+func TestManycoreSweepMatchesSerial(t *testing.T) {
+	blocks := []int{1, 2, 4}
+	serial, err := RunManycore(context.Background(), ScaleTest, blocks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunManycore(context.Background(), ScaleTest, blocks, 8, WithBlockParallel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj := encodeDoc(t, serial.Document(ScaleTest))
+	pj := encodeDoc(t, par.Document(ScaleTest))
+	if !bytes.Equal(sj, pj) {
+		t.Errorf("manycore sweep differs between serial and block-parallel engines:\nserial:\n%s\nblock-parallel:\n%s", sj, pj)
+	}
+	if len(serial.Curve.Groups) != 2 {
+		t.Fatalf("curve has %d groups, want 2", len(serial.Curve.Groups))
+	}
+}
+
+// TestManycoreSmoke is the 1024-core smoke cell: one tiny Jacobi run on
+// the 128-block machine under the block-parallel engine, inside the
+// tier-1 budget. It pins that the full topology — 32×32 mesh, 128 L2s,
+// 1024 thread contexts — actually builds and runs.
+func TestManycoreSmoke(t *testing.T) {
+	res, err := RunManycore(context.Background(), ScaleTest, []int{128}, 8,
+		WithBlockParallel(), WithOnly("jacobi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := res.Raw["jacobi"][128]
+	if !ok {
+		t.Fatal("128-block jacobi cell produced no result")
+	}
+	if r.Cycles <= 0 {
+		t.Fatalf("128-block jacobi simulated %d cycles", r.Cycles)
+	}
+}

@@ -8,6 +8,18 @@
 //	hicsim [-scale test|bench] [-parallel N] [-timeout D] [-json] [-timing] [-check]
 //	       [-check-coherence] [-faults matrix|PLAN] [-metrics] [-trace-chrome F]
 //	       [-schema v1|v2] [-cpuprofile F] [-memprofile F]
+//	       [-blocks N] [-cores-per-block N] [-block-parallel]
+//
+// -block-parallel runs every incoherent-hierarchy simulation on the
+// block-parallel engine — one event heap per block on its own goroutine
+// between deterministic sync epochs. Output is byte-identical to the
+// serial engine; fault-injected and recorder-attached runs silently fall
+// back to it.
+//
+// -blocks N switches to the E7 many-core block-scaling sweep instead of
+// the paper figures: Jacobi and NAS EP on machines of 1, 2, 4, ...
+// blocks up to N, each with -cores-per-block cores (default 8), under
+// Addr+L. `hicsim -blocks 128 -block-parallel` is the 1024-core sweep.
 //
 // Runs fan out across -parallel workers (default GOMAXPROCS); results are
 // identical to a serial sweep. -timeout bounds each individual run; a run
@@ -79,6 +91,11 @@ func main() {
 
 	opts := f.RunOptions()
 	ctx := context.Background()
+
+	if f.Blocks > 0 {
+		runManycore(ctx, f, s, opts)
+		return
+	}
 
 	if f.Faults != "" {
 		rep, err := hic.RunBuggyAnnotation(ctx, s, opts)
@@ -160,4 +177,35 @@ func main() {
 		m12["Base"], m12["Addr"], m12["Addr+L"])
 	fmt.Printf("\nsweep wall time (%d workers): intra %s, inter %s\n",
 		opts.Workers(1<<30), intraWall.Round(time.Millisecond), interWall.Round(time.Millisecond))
+}
+
+// runManycore executes the E7 block-scaling sweep selected by -blocks:
+// power-of-two machines up to -blocks blocks of -cores-per-block cores,
+// e.g. `hicsim -blocks 128 -cores-per-block 8 -block-parallel` for the
+// 1024-core sweep. With -json the document (suite "manycore") is emitted
+// on stdout; otherwise the normalized-execution-time curve is rendered
+// as text.
+func runManycore(ctx context.Context, f *cli.Flags, s hic.Scale, opts hic.RunOptions) {
+	start := time.Now()
+	res, err := hic.RunManycoreOpts(ctx, s, hic.ManycoreBlockCounts(f.Blocks), f.CoresPerBlock, opts)
+	wall := time.Since(start)
+	if f.JSON {
+		if res != nil {
+			if encErr := f.EncodeDoc(os.Stdout, res.Document(s)); encErr != nil {
+				log.Fatal(encErr)
+			}
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== E7: block scaling (up to %d blocks x %d cores) ==============\n",
+		f.Blocks, f.CoresPerBlock)
+	fmt.Println(res.Curve.Render())
+	fmt.Printf("sweep wall time (%d workers): %s\n",
+		opts.Workers(1<<30), wall.Round(time.Millisecond))
 }

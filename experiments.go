@@ -118,6 +118,23 @@ type RunOptions struct {
 	// ran; absent applications simply contribute no groups. The -short
 	// regression paths use this to avoid re-simulating full sweeps.
 	Only []string
+	// BlockParallel runs incoherent-hierarchy cells under the engine's
+	// block-parallel executor (one goroutine per block between
+	// deterministic sync epochs). Results are byte-identical to serial
+	// execution; cells with fault injection or a recorder attached
+	// degrade to the serial engine on their own.
+	BlockParallel bool
+}
+
+// engage applies the block-parallel option to a freshly built hierarchy
+// (a no-op for hierarchies that do not support sharding, i.e. MESI).
+func (o RunOptions) engage(h engine.Hierarchy) {
+	if !o.BlockParallel {
+		return
+	}
+	if ch, ok := h.(*core.Hierarchy); ok {
+		ch.SetBlockParallel(true)
+	}
 }
 
 // wants reports whether workload name is selected by the Only filter.
@@ -267,6 +284,7 @@ func intraTasks(s Scale, opts RunOptions) []runner.Task {
 				Run: func(ctx context.Context) (*runner.Outcome, error) {
 					wl := IntraWorkloads(s)[i]
 					h := NewHierarchy(NewIntraMachine(), cfg)
+					opts.engage(h)
 					rec := opts.instrument(h)
 					orc, _, err := opts.checks(h, wl.Threads)
 					if err != nil {
@@ -420,6 +438,7 @@ func interTasks(s Scale, opts RunOptions) []runner.Task {
 				Run: func(ctx context.Context) (*runner.Outcome, error) {
 					wl := InterWorkloads(s)[i]
 					h := NewModeHierarchy(NewInterMachine(), mode)
+					opts.engage(h)
 					rec := opts.instrument(h)
 					orc, _, err := opts.checks(h, wl.Threads)
 					if err != nil {

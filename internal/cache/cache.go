@@ -59,8 +59,6 @@ type Line struct {
 	State State
 	// Words are the line's data.
 	Words [mem.WordsPerLine]mem.Word
-
-	lru uint64
 }
 
 // IsDirty reports whether any word of the line is dirty.
@@ -80,15 +78,29 @@ type Config struct {
 }
 
 // Cache is one set-associative write-back cache.
+//
+// Line metadata that set scans need — the packed tag+valid key and the
+// LRU stamp — lives in dense side arrays (structure-of-arrays): a Line
+// is hundreds of bytes, so probing a set through the frames slice would
+// stride whole cache lines of simulator memory per way, while the side
+// arrays pack 8 ways into one. Lookup, Peek, FrameOf, Victim and Insert
+// touch only the side arrays until they have a frame to return.
 type Cache struct {
 	cfg    Config
 	sets   int
-	frames []Line // sets × ways, frame f = set*ways + way
+	frames []Line   // sets × ways, frame f = set*ways + way
+	keys   []uint64 // tag | 1 when valid, 0 when invalid
+	lrus   []uint64 // LRU stamps, parallel to frames
 	clock  uint64
 
 	// Event counters.
 	Hits, Misses, Evictions, WritebacksOnEvict int64
 }
+
+// keyOf packs a line address and the valid bit into one comparable word.
+// Line addresses are line-aligned, so bit 0 is free for the valid flag;
+// an invalid frame's key is 0, which no valid line can produce.
+func keyOf(line mem.Addr) uint64 { return uint64(line) | 1 }
 
 // Stats is the cache's event counters in one bundle, read by the
 // observability layer at snapshot time (the counters themselves are
@@ -118,7 +130,13 @@ func New(cfg Config) *Cache {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
 	}
-	return &Cache{cfg: cfg, sets: sets, frames: make([]Line, lines)}
+	return &Cache{
+		cfg:    cfg,
+		sets:   sets,
+		frames: make([]Line, lines),
+		keys:   make([]uint64, lines),
+		lrus:   make([]uint64, lines),
+	}
 }
 
 // NumFrames returns the number of line frames.
@@ -138,10 +156,10 @@ func (c *Cache) setOf(line mem.Addr) int {
 // FrameOf returns the frame holding the given line address, or -1.
 func (c *Cache) FrameOf(line mem.Addr) FrameID {
 	line = mem.LineAddr(line)
-	set := c.setOf(line)
-	for w := 0; w < c.cfg.Ways; w++ {
-		f := set*c.cfg.Ways + w
-		if c.frames[f].Valid && c.frames[f].Tag == line {
+	want := keyOf(line)
+	base := c.setOf(line) * c.cfg.Ways
+	for f := base; f < base+c.cfg.Ways; f++ {
+		if c.keys[f] == want {
 			return FrameID(f)
 		}
 	}
@@ -157,13 +175,13 @@ func (c *Cache) Frame(f FrameID) *Line { return &c.frames[f] }
 // The set is scanned exactly once.
 func (c *Cache) Lookup(addr mem.Addr) *Line {
 	line := mem.LineAddr(addr)
+	want := keyOf(line)
 	base := c.setOf(line) * c.cfg.Ways
 	for f := base; f < base+c.cfg.Ways; f++ {
-		l := &c.frames[f]
-		if l.Valid && l.Tag == line {
+		if c.keys[f] == want {
 			c.Hits++
 			c.touch(FrameID(f))
-			return l
+			return &c.frames[f]
 		}
 	}
 	c.Misses++
@@ -175,11 +193,11 @@ func (c *Cache) Lookup(addr mem.Addr) *Line {
 // Peek so they do not perturb replacement or hit statistics.
 func (c *Cache) Peek(addr mem.Addr) *Line {
 	line := mem.LineAddr(addr)
+	want := keyOf(line)
 	base := c.setOf(line) * c.cfg.Ways
 	for f := base; f < base+c.cfg.Ways; f++ {
-		l := &c.frames[f]
-		if l.Valid && l.Tag == line {
-			return l
+		if c.keys[f] == want {
+			return &c.frames[f]
 		}
 	}
 	return nil
@@ -187,22 +205,21 @@ func (c *Cache) Peek(addr mem.Addr) *Line {
 
 func (c *Cache) touch(f FrameID) {
 	c.clock++
-	c.frames[f].lru = c.clock
+	c.lrus[f] = c.clock
 }
 
 // Victim selects the frame an insertion of line addr would use: an invalid
 // way if one exists, else the LRU way of the set. It does not modify the
 // cache.
 func (c *Cache) Victim(addr mem.Addr) FrameID {
-	set := c.setOf(mem.LineAddr(addr))
-	best := FrameID(set * c.cfg.Ways)
-	for w := 0; w < c.cfg.Ways; w++ {
-		f := FrameID(set*c.cfg.Ways + w)
-		if !c.frames[f].Valid {
-			return f
+	base := c.setOf(mem.LineAddr(addr)) * c.cfg.Ways
+	best := FrameID(base)
+	for f := base; f < base+c.cfg.Ways; f++ {
+		if c.keys[f] == 0 {
+			return FrameID(f)
 		}
-		if c.frames[f].lru < c.frames[best].lru {
-			best = f
+		if c.lrus[f] < c.lrus[best] {
+			best = FrameID(f)
 		}
 	}
 	return best
@@ -219,21 +236,22 @@ func (c *Cache) Victim(addr mem.Addr) FrameID {
 // present.
 func (c *Cache) Insert(line mem.Addr, words *[mem.WordsPerLine]mem.Word, st State, victim *Line) (FrameID, bool) {
 	line = mem.LineAddr(line)
+	want := keyOf(line)
 	base := c.setOf(line) * c.cfg.Ways
 	invalid := -1
 	best := base
 	for f := base; f < base+c.cfg.Ways; f++ {
-		l := &c.frames[f]
-		if !l.Valid {
+		k := c.keys[f]
+		if k == 0 {
 			if invalid < 0 {
 				invalid = f
 			}
 			continue
 		}
-		if l.Tag == line {
+		if k == want {
 			panic(fmt.Sprintf("cache: Insert of already-present line %#x", uint32(line)))
 		}
-		if l.lru < c.frames[best].lru {
+		if c.lrus[f] < c.lrus[best] {
 			best = f
 		}
 	}
@@ -251,6 +269,7 @@ func (c *Cache) Insert(line mem.Addr, words *[mem.WordsPerLine]mem.Word, st Stat
 		evicted = true
 	}
 	c.frames[f] = Line{Tag: line, Valid: true, State: st, Words: *words}
+	c.keys[f] = want
 	c.touch(FrameID(f))
 	return FrameID(f), evicted
 }
@@ -259,6 +278,8 @@ func (c *Cache) Insert(line mem.Addr, words *[mem.WordsPerLine]mem.Word, st Stat
 // data first (written it back or deliberately dropped it).
 func (c *Cache) InvalidateFrame(f FrameID) {
 	c.frames[f] = Line{}
+	c.keys[f] = 0
+	c.lrus[f] = 0
 }
 
 // Invalidate removes addr's line if present and reports whether it was
@@ -269,7 +290,7 @@ func (c *Cache) Invalidate(addr mem.Addr) bool {
 	if f < 0 {
 		return false
 	}
-	c.frames[f] = Line{}
+	c.InvalidateFrame(f)
 	return true
 }
 
@@ -282,7 +303,7 @@ func (c *Cache) InvalidateInto(addr mem.Addr, victim *Line) bool {
 		return false
 	}
 	*victim = c.frames[f]
-	c.frames[f] = Line{}
+	c.InvalidateFrame(f)
 	return true
 }
 
@@ -332,7 +353,7 @@ func (c *Cache) FlashInvalidate(drain func(l *Line)) int {
 		if c.frames[i].IsDirty() && drain != nil {
 			drain(&c.frames[i])
 		}
-		c.frames[i] = Line{}
+		c.InvalidateFrame(FrameID(i))
 		n++
 	}
 	return n

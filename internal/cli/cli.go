@@ -58,12 +58,16 @@ const (
 	FlagObs
 	// FlagProfile is -cpuprofile and -memprofile.
 	FlagProfile
+	// FlagTopo is -blocks, -cores-per-block, and -block-parallel (custom
+	// machine topology and the block-parallel engine).
+	FlagTopo
 
 	// SweepFlags is the full sweep-command set (hicsim).
 	SweepFlags = FlagScale | FlagParallel | FlagTimeout | FlagJSON | FlagTiming |
-		FlagSchema | FlagCheck | FlagCoherence | FlagFaults | FlagObs | FlagProfile
+		FlagSchema | FlagCheck | FlagCoherence | FlagFaults | FlagObs | FlagProfile |
+		FlagTopo
 	// FigureFlags is the single-figure sweep set (intrablock, interblock):
-	// everything but the shapecheck gate and fault injection.
+	// everything but the shapecheck gate, fault injection, and topology.
 	FigureFlags = FlagScale | FlagParallel | FlagTimeout | FlagJSON | FlagTiming |
 		FlagSchema | FlagCoherence | FlagObs | FlagProfile
 	// JSONFlags is the minimal machine-output set (litmus, overhead).
@@ -102,6 +106,13 @@ type Flags struct {
 	TraceChrome string
 	// CPUProfile and MemProfile are pprof output paths.
 	CPUProfile, MemProfile string
+	// Blocks selects the many-core block-scaling sweep up to this block
+	// count (0 = run the standard paper sweeps instead).
+	Blocks int
+	// CoresPerBlock is the cores per block of the many-core machines.
+	CoresPerBlock int
+	// BlockParallel runs each simulation on the block-parallel engine.
+	BlockParallel bool
 }
 
 // Register installs the shared flags selected by mask on fs and returns
@@ -144,6 +155,11 @@ func Register(fs *flag.FlagSet, mask Mask) *Flags {
 		fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 		fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
 	}
+	if mask&FlagTopo != 0 {
+		fs.IntVar(&f.Blocks, "blocks", 0, "run the many-core block-scaling sweep: powers of two up to this block count (0 = standard sweeps)")
+		fs.IntVar(&f.CoresPerBlock, "cores-per-block", hic.DefaultManycoreCoresPerBlock, "cores per block of the many-core machines")
+		fs.BoolVar(&f.BlockParallel, "block-parallel", false, "run each simulation on the block-parallel engine (one goroutine per block; results are byte-identical)")
+	}
 	return f
 }
 
@@ -167,6 +183,12 @@ func (f *Flags) Validate() error {
 	if f.Schema != "v1" && f.Schema != "v2" {
 		return fmt.Errorf("unknown schema %q (want v1 or v2)", f.Schema)
 	}
+	if f.Blocks < 0 {
+		return fmt.Errorf("-blocks %d: want a positive block count (or 0 for the standard sweeps)", f.Blocks)
+	}
+	if f.Blocks > 0 && f.CoresPerBlock < 1 {
+		return fmt.Errorf("-cores-per-block %d: want at least 1", f.CoresPerBlock)
+	}
 	return nil
 }
 
@@ -189,6 +211,9 @@ func (f *Flags) Options() []hic.Option {
 	}
 	if f.Tracing() {
 		opts = append(opts, hic.WithTracing())
+	}
+	if f.BlockParallel {
+		opts = append(opts, hic.WithBlockParallel())
 	}
 	return opts
 }

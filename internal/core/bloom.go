@@ -137,7 +137,7 @@ func (h *Hierarchy) SigPublish(core, ch int) int64 {
 	w := h.bloom.write[core]
 	sig.Union(w)
 	w.Reset()
-	h.ctr.Inc("bloom.publishes", 1)
+	h.ctr(core).Inc("bloom.publishes", 1)
 	h.m.Mesh.Account(stats.SyncTraffic, w.SizeFlits())
 	// The signature rides the release message to the controller.
 	return h.m.SyncCost(core, ch) / 2
@@ -177,10 +177,10 @@ func (h *Hierarchy) INVSig(core, ch int) int64 {
 		l1.Invalidate(tag)
 	}
 	lat += int64(drains) * p.WBOccupancy
-	h.ctr.Inc("bloom.invsig", 1)
-	h.ctr.Inc("bloom.matched", int64(matched))
-	h.ctr.Inc("inv.l1lines", int64(matched))
-	h.countLineOp("inv", isa.LevelAuto, int64(matched))
+	h.ctr(core).Inc("bloom.invsig", 1)
+	h.ctr(core).Inc("bloom.matched", int64(matched))
+	h.ctr(core).Inc("inv.l1lines", int64(matched))
+	h.countLineOp(core, "inv", isa.LevelAuto, int64(matched))
 	return lat
 }
 

@@ -130,8 +130,8 @@ func TestChannelSignaturesSaturate(t *testing.T) {
 		h.Load(1, mem.Addr(0x80000+i*mem.LineBytes))
 	}
 	h.INVSig(1, ch)
-	if h.ctr.Get("bloom.matched") < 4 {
-		t.Errorf("saturated signature matched only %d lines", h.ctr.Get("bloom.matched"))
+	if h.Counters().Get("bloom.matched") < 4 {
+		t.Errorf("saturated signature matched only %d lines", h.Counters().Get("bloom.matched"))
 	}
 }
 

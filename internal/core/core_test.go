@@ -109,9 +109,9 @@ func TestWBNoEffectWhenClean(t *testing.T) {
 	h := intraHierarchy()
 	a := mem.Addr(0x3000)
 	h.Load(0, a)
-	before := h.ctr.Get("wb.words")
+	before := h.Counters().Get("wb.words")
 	lat := h.WB(0, mem.WordRange(a, 1), isa.LevelAuto)
-	if h.ctr.Get("wb.words") != before {
+	if h.Counters().Get("wb.words") != before {
 		t.Error("clean WB moved data")
 	}
 	if lat >= h.m.Params.L2RT {
@@ -176,7 +176,7 @@ func TestWBAllMEBServedAndCheaper(t *testing.T) {
 		h.Store(0, mem.Addr(0x7000+i*mem.LineBytes), mem.Word(100+i))
 	}
 	latMEB := h.WBAll(0, true, isa.LevelAuto)
-	if h.ctr.Get("meb.served") != 1 {
+	if h.Counters().Get("meb.served") != 1 {
 		t.Fatal("MEB did not serve the WB ALL")
 	}
 	if h.l1[0].CountDirty() != 0 {
@@ -199,7 +199,7 @@ func TestMEBOverflowFallsBack(t *testing.T) {
 		h.Store(0, mem.Addr(0x8000+i*mem.LineBytes), mem.Word(i))
 	}
 	h.WBAll(0, true, isa.LevelAuto)
-	if h.ctr.Get("meb.fallback") != 1 {
+	if h.Counters().Get("meb.fallback") != 1 {
 		t.Error("overflowed MEB should fall back to full traversal")
 	}
 	if h.l1[0].CountDirty() != 0 {
@@ -208,7 +208,7 @@ func TestMEBOverflowFallsBack(t *testing.T) {
 	// The WB ALL cleared the MEB, so it is valid again.
 	h.Store(0, 0x8000, 9)
 	h.WBAll(0, true, isa.LevelAuto)
-	if h.ctr.Get("meb.served") != 1 {
+	if h.Counters().Get("meb.served") != 1 {
 		t.Error("MEB should serve again after clear")
 	}
 }
@@ -257,7 +257,7 @@ func TestIEBLazyInvalidation(t *testing.T) {
 	if v, l := h.Load(1, a); v != 55 || l != 0 {
 		t.Errorf("second armed read = (%d, lat %d), want hit", v, l)
 	}
-	if h.ctr.Get("ieb.filtered") == 0 {
+	if h.Counters().Get("ieb.filtered") == 0 {
 		t.Error("IEB did not filter the second read")
 	}
 }
@@ -270,7 +270,7 @@ func TestIEBDirtyOwnWordNotInvalidated(t *testing.T) {
 	if v, lat := h.Load(0, a); v != 7 || lat != 0 {
 		t.Errorf("read of own dirty word = (%d, %d), want hit of 7", v, lat)
 	}
-	if h.ctr.Get("ieb.dirtyhit") == 0 {
+	if h.Counters().Get("ieb.dirtyhit") == 0 {
 		t.Error("dirty-word read should be recognized as not stale")
 	}
 }
@@ -282,16 +282,16 @@ func TestIEBEvictionCausesExtraInvalidation(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		h.Load(0, mem.Addr(0xb000+i*mem.LineBytes))
 	}
-	if h.ctr.Get("ieb.evictions") == 0 {
+	if h.Counters().Get("ieb.evictions") == 0 {
 		t.Fatal("expected an IEB eviction")
 	}
 	// Re-reading the first line self-invalidates again (unnecessary but
 	// correct).
-	before := h.ctr.Get("ieb.selfinv")
+	before := h.Counters().Get("ieb.selfinv")
 	if _, lat := h.Load(0, 0xb000); lat == 0 {
 		t.Error("evicted line should re-invalidate and miss")
 	}
-	if h.ctr.Get("ieb.selfinv") != before+1 {
+	if h.Counters().Get("ieb.selfinv") != before+1 {
 		t.Error("re-read of evicted line should self-invalidate")
 	}
 }
@@ -308,9 +308,9 @@ func TestIEBDisarmedAtEpochBoundary(t *testing.T) {
 	}
 	// After disarm, loads behave normally (no self-invalidation).
 	h.Load(0, 0xc000)
-	before := h.ctr.Get("ieb.selfinv")
+	before := h.Counters().Get("ieb.selfinv")
 	h.Load(0, 0xc000)
-	if h.ctr.Get("ieb.selfinv") != before {
+	if h.Counters().Get("ieb.selfinv") != before {
 		t.Error("disarmed IEB still invalidating")
 	}
 }
@@ -384,7 +384,7 @@ func TestLevelAdaptiveSameBlockStaysLocal(t *testing.T) {
 	if v, _ := h.Load(1, a); v != 9 {
 		t.Errorf("same-block adaptive read = %d", v)
 	}
-	if h.ctr.Get("wbcons.auto") != 1 || h.ctr.Get("wbcons.global") != 0 {
+	if h.Counters().Get("wbcons.auto") != 1 || h.Counters().Get("wbcons.global") != 0 {
 		t.Error("WB_CONS should have resolved to the local level")
 	}
 	wb, inv := h.GlobalOps()
@@ -403,7 +403,7 @@ func TestLevelAdaptiveCrossBlockGoesGlobal(t *testing.T) {
 	if v, _ := h.Load(8, a); v != 31 {
 		t.Errorf("cross-block adaptive read = %d, want 31", v)
 	}
-	if h.ctr.Get("wbcons.global") != 1 {
+	if h.Counters().Get("wbcons.global") != 1 {
 		t.Error("WB_CONS should have resolved to the global level")
 	}
 	wb, inv := h.GlobalOps()
@@ -420,7 +420,7 @@ func TestLevelAdaptiveFollowsThreadMap(t *testing.T) {
 	a := mem.Addr(0x13000)
 	h.Store(0, a, 1)
 	h.WBCons(0, mem.WordRange(a, 1), 8)
-	if h.ctr.Get("wbcons.auto") != 1 {
+	if h.Counters().Get("wbcons.auto") != 1 {
 		t.Error("remapped consumer should make WB_CONS local")
 	}
 }

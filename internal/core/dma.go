@@ -41,8 +41,8 @@ func (h *Hierarchy) DMACopy(core int, dst mem.Addr, src mem.Range, toBlock int) 
 	}
 	p := h.m.Params
 	lines := int64(src.NumLines())
-	h.ctr.Inc("dma.transfers", 1)
-	h.ctr.Inc("dma.lines", lines)
+	h.ctr(core).Inc("dma.transfers", 1)
+	h.ctr(core).Inc("dma.lines", lines)
 
 	off := int64(dst) - int64(src.Base)
 	src.Lines(func(line mem.Addr, _ mem.LineMask) {

@@ -45,10 +45,10 @@ func (h *Hierarchy) wbFaultRange(core int, r mem.Range) (int64, bool) {
 	}
 	switch h.fi.NextWB() {
 	case faultinject.WBDrop:
-		h.ctr.Inc("fault.wb.dropped", 1)
+		h.ctr(core).Inc("fault.wb.dropped", 1)
 		return 1, true
 	case faultinject.WBDelay:
-		h.ctr.Inc("fault.wb.delayed", 1)
+		h.ctr(core).Inc("fault.wb.delayed", 1)
 		r.Lines(func(line mem.Addr, _ mem.LineMask) {
 			if l := h.l1[core].Peek(line); l != nil && l.IsDirty() {
 				h.park(l)
@@ -66,10 +66,10 @@ func (h *Hierarchy) wbFaultAll(core int) (int64, bool) {
 	}
 	switch h.fi.NextWB() {
 	case faultinject.WBDrop:
-		h.ctr.Inc("fault.wb.dropped", 1)
+		h.ctr(core).Inc("fault.wb.dropped", 1)
 		return 1, true
 	case faultinject.WBDelay:
-		h.ctr.Inc("fault.wb.delayed", 1)
+		h.ctr(core).Inc("fault.wb.delayed", 1)
 		h.l1[core].ForEachValid(func(_ cache.FrameID, l *cache.Line) {
 			if l.IsDirty() {
 				h.park(l)
@@ -82,11 +82,11 @@ func (h *Hierarchy) wbFaultAll(core int) (int64, bool) {
 
 // invFault consults the INV cursor; true means the invalidation is
 // skipped entirely (for a lazy INV ALL, the IEB is not armed either).
-func (h *Hierarchy) invFault() bool {
+func (h *Hierarchy) invFault(core int) bool {
 	if h.fi == nil || !h.fi.NextINV() {
 		return false
 	}
-	h.ctr.Inc("fault.inv.skipped", 1)
+	h.ctr(core).Inc("fault.inv.skipped", 1)
 	return true
 }
 

@@ -99,7 +99,14 @@ type Hierarchy struct {
 	fi      *faultinject.State
 	delayed []parked
 
-	ctr *stats.Counters
+	// ctrs holds one protocol counter bag per block, so block-parallel
+	// shards never contend on one map: an event raised on core c lands in
+	// ctrs[BlockOf(c)] via h.ctr(c). Counters() merges the bags.
+	ctrs []*stats.Counters
+
+	// blockPar enables the ShardedHierarchy surface (parallel.go) once the
+	// caller has opted in via SetBlockParallel.
+	blockPar bool
 
 	// rec plus the pre-resolved per-core occupancy tracks, set when the
 	// observability recorder is attached (nil otherwise). See obs.go.
@@ -119,7 +126,10 @@ func New(m *topo.Machine, cfg Config) *Hierarchy {
 		l2:      make([]*cache.Cache, m.Blocks),
 		meb:     make([]*MEB, m.NumCores()),
 		ieb:     make([]*IEB, m.NumCores()),
-		ctr:     stats.NewCounters(),
+		ctrs:    make([]*stats.Counters, m.Blocks),
+	}
+	for b := range h.ctrs {
+		h.ctrs[b] = stats.NewCounters()
 	}
 	for c := range h.l1 {
 		h.l1[c] = cache.New(cfg.L1)
@@ -159,8 +169,22 @@ func (h *Hierarchy) Machine() *topo.Machine { return h.m }
 // Memory returns the backing store (authoritative only after Drain).
 func (h *Hierarchy) Memory() *mem.Memory { return h.backing }
 
-// Counters returns the protocol event counters.
-func (h *Hierarchy) Counters() *stats.Counters { return h.ctr }
+// ctr returns the counter bag events raised on core must land in.
+func (h *Hierarchy) ctr(core int) *stats.Counters { return h.ctrs[h.m.BlockOf(core)] }
+
+// Counters returns the protocol event counters, merged across the
+// per-block bags. Callers must be quiescent with respect to shard
+// execution (counters are read after Drain or between epochs).
+func (h *Hierarchy) Counters() *stats.Counters {
+	if len(h.ctrs) == 1 {
+		return h.ctrs[0]
+	}
+	merged := stats.NewCounters()
+	for _, c := range h.ctrs {
+		merged.Merge(c)
+	}
+	return merged
+}
 
 // Traffic returns accumulated network traffic.
 func (h *Hierarchy) Traffic() stats.Traffic { return h.m.Mesh.Traffic() }
@@ -204,22 +228,22 @@ func (h *Hierarchy) Load(core int, a mem.Addr) (mem.Word, int64) {
 		switch {
 		case b.Contains(line):
 			// Already refreshed this epoch: no special action.
-			h.ctr.Inc("ieb.filtered", 1)
+			h.ctr(core).Inc("ieb.filtered", 1)
 		case func() bool { l := l1.Peek(a); return l != nil && l.Dirty.Has(mem.WordIndex(a)) }():
 			// The word was written by this core in the past: not stale.
-			h.ctr.Inc("ieb.dirtyhit", 1)
+			h.ctr(core).Inc("ieb.dirtyhit", 1)
 		default:
 			if h.fi != nil && h.fi.NextIEBLie() {
 				// Injected fault: the IEB claims the line was already
 				// refreshed this epoch; the stale copy survives.
-				h.ctr.Inc("fault.ieb.lie", 1)
+				h.ctr(core).Inc("fault.ieb.lie", 1)
 				break
 			}
 			if b.Insert(line) {
-				h.ctr.Inc("ieb.evictions", 1)
+				h.ctr(core).Inc("ieb.evictions", 1)
 			}
 			h.sampleIEB(core)
-			h.ctr.Inc("ieb.insertions", 1)
+			h.ctr(core).Inc("ieb.insertions", 1)
 			if l := l1.Peek(a); l != nil {
 				// First read in the epoch: invalidate the potentially
 				// stale copy (draining this core's own dirty words first,
@@ -228,7 +252,7 @@ func (h *Hierarchy) Load(core int, a mem.Addr) (mem.Word, int64) {
 					h.wbDirtyWords(core, l, isa.LevelAuto)
 				}
 				l1.Invalidate(a)
-				h.ctr.Inc("ieb.selfinv", 1)
+				h.ctr(core).Inc("ieb.selfinv", 1)
 			}
 		}
 	}
@@ -257,7 +281,7 @@ func (h *Hierarchy) Store(core int, a mem.Addr, v mem.Word) int64 {
 		l.Words[i] = v
 		var words [mem.WordsPerLine]mem.Word
 		words[i] = v
-		h.ctr.Inc("wt.stores", 1)
+		h.ctr(core).Inc("wt.stores", 1)
 		h.noteBloomWrite(core, mem.LineAddr(a))
 		h.mergeBelowL1(h.m.BlockOf(core), mem.LineAddr(a), &words, mem.Bit(i))
 		return lat
@@ -269,9 +293,9 @@ func (h *Hierarchy) Store(core int, a mem.Addr, v mem.Word) int64 {
 				// Injected fault: an undersized MEB silently discards the
 				// record instead of entering the overflow state.
 				h.fi.NoteMEBLost(mem.LineAddr(a))
-				h.ctr.Inc("fault.meb.lost", 1)
+				h.ctr(core).Inc("fault.meb.lost", 1)
 			} else if b.Record(f) {
-				h.ctr.Inc("meb.overflows", 1)
+				h.ctr(core).Inc("meb.overflows", 1)
 			}
 			h.sampleMEB(core)
 		}
@@ -292,7 +316,7 @@ func (h *Hierarchy) fillL1(core int, line mem.Addr) ([mem.WordsPerLine]mem.Word,
 		// Victim writeback drains through the write buffer: traffic but no
 		// exposed latency.
 		h.mergeBelowL1(b, victim.Tag, &victim.Words, victim.Dirty)
-		h.ctr.Inc("l1.evict.dirty", 1)
+		h.ctr(core).Inc("l1.evict.dirty", 1)
 	}
 	return words, lat
 }
@@ -305,7 +329,9 @@ func (h *Hierarchy) readThroughL2(core, b int, line mem.Addr) ([mem.WordsPerLine
 	mesh := h.m.Mesh
 	bank := h.m.L2BankNode(b, line)
 	lat := p.L2RT + mesh.RTLatency(h.m.CoreNode(core), bank)
-	mesh.Account(stats.Linefill, noc.CtrlFlits()+noc.DataFlits(mem.LineBytes))
+	// This leg can run on a block-parallel shard (L2-hit fills are
+	// shard-local); route the flits to the shard's accumulator.
+	mesh.AccountShard(b, stats.Linefill, noc.CtrlFlits()+noc.DataFlits(mem.LineBytes))
 	if l2l := h.l2[b].Lookup(line); l2l != nil {
 		return l2l.Words, lat
 	}
@@ -344,7 +370,7 @@ func (h *Hierarchy) fillL2(b int, line mem.Addr) ([mem.WordsPerLine]mem.Word, in
 	var victim cache.Line
 	if _, evicted := h.l2[b].Insert(line, &words, cache.StateNone, &victim); evicted && victim.IsDirty() {
 		h.mergeBelowL2(victim.Tag, &victim.Words, victim.Dirty)
-		h.ctr.Inc("l2.evict.dirty", 1)
+		h.ctrs[b].Inc("l2.evict.dirty", 1)
 	}
 	return words, lat
 }
@@ -359,7 +385,9 @@ func (h *Hierarchy) writeMemory(line mem.Addr, words *[mem.WordsPerLine]mem.Word
 // L2 if present (marking them dirty there), else forwards them deeper
 // (write-no-allocate below L1).
 func (h *Hierarchy) mergeBelowL1(b int, line mem.Addr, words *[mem.WordsPerLine]mem.Word, mask mem.LineMask) {
-	h.m.Mesh.Account(stats.Writeback, noc.DataFlits(mask.Count()*mem.WordBytes))
+	// Like the L2 read leg, this can run on a block-parallel shard (the
+	// OpLocal classifier only admits writebacks whose lines hit the L2).
+	h.m.Mesh.AccountShard(b, stats.Writeback, noc.DataFlits(mask.Count()*mem.WordBytes))
 	if l2l := h.l2[b].Peek(line); l2l != nil {
 		for i := 0; i < mem.WordsPerLine; i++ {
 			if mask.Has(i) {

@@ -93,8 +93,9 @@ func (h *Hierarchy) collect(c *obs.Collect) {
 	gaugeOccupancy(c, "meb.occupancy.hwm", h.mebTrack)
 	gaugeOccupancy(c, "ieb.occupancy.hwm", h.iebTrack)
 
-	for _, name := range h.ctr.Names() {
-		c.Count("proto."+name, h.ctr.Get(name))
+	ctr := h.Counters()
+	for _, name := range ctr.Names() {
+		c.Count("proto."+name, ctr.Get(name))
 	}
 
 	words, pages := h.backing.Stats()

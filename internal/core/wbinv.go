@@ -52,7 +52,7 @@ func (h *Hierarchy) wb(core int, r mem.Range, lvl isa.Level) int64 {
 			written++
 			lastLine = line
 		}
-		h.countLineOp("wb", lvl, 1)
+		h.countLineOp(core, "wb", lvl, 1)
 	})
 	lat += int64(written) * p.WBOccupancy
 	if written > 0 {
@@ -73,7 +73,7 @@ func (h *Hierarchy) wbLine(core int, line mem.Addr, lvl isa.Level) bool {
 	if lvl == isa.LevelGlobal {
 		b := h.m.BlockOf(core)
 		if l2l := h.l2[b].Peek(line); l2l != nil && l2l.IsDirty() {
-			h.pushL2WordsToL3(l2l)
+			h.pushL2WordsToL3(core, l2l)
 			wrote = true
 		}
 	}
@@ -84,8 +84,8 @@ func (h *Hierarchy) wbLine(core int, line mem.Addr, lvl isa.Level) bool {
 // and leaves the line clean valid.
 func (h *Hierarchy) wbDirtyWords(core int, l *cache.Line, lvl isa.Level) {
 	b := h.m.BlockOf(core)
-	h.ctr.Inc("wb.words", int64(l.Dirty.Count()))
-	h.ctr.Inc("wb.dirtylines", 1)
+	h.ctr(core).Inc("wb.words", int64(l.Dirty.Count()))
+	h.ctr(core).Inc("wb.dirtylines", 1)
 	if h.effLevel(lvl) == isa.LevelGlobal {
 		h.pushWordsGlobal(b, l.Tag, &l.Words, l.Dirty)
 	} else {
@@ -115,9 +115,9 @@ func (h *Hierarchy) pushWordsGlobal(b int, line mem.Addr, words *[mem.WordsPerLi
 
 // pushL2WordsToL3 ejects a block-L2 line's dirty words to the L3 (or
 // memory when the L3 evicted the line) and leaves the L2 line clean.
-func (h *Hierarchy) pushL2WordsToL3(l2l *cache.Line) {
-	h.ctr.Inc("wb.words", int64(l2l.Dirty.Count()))
-	h.ctr.Inc("wb.dirtylines", 1)
+func (h *Hierarchy) pushL2WordsToL3(core int, l2l *cache.Line) {
+	h.ctr(core).Inc("wb.words", int64(l2l.Dirty.Count()))
+	h.ctr(core).Inc("wb.dirtylines", 1)
 	h.m.Mesh.Account(stats.Writeback, noc.DataFlits(l2l.Dirty.Count()*mem.WordBytes))
 	h.mergeBelowL2NoTraffic(l2l.Tag, &l2l.Words, l2l.Dirty)
 	l2l.Dirty = 0
@@ -140,7 +140,7 @@ func (h *Hierarchy) wbDrainRT(core int, line mem.Addr, lvl isa.Level) int64 {
 // LevelGlobal. Dirty data is first written back, so INV never loses
 // updates. It returns the exposed latency.
 func (h *Hierarchy) INV(core int, r mem.Range, lvl isa.Level) int64 {
-	if h.invFault() {
+	if h.invFault(core) {
 		return 1
 	}
 	return h.inv(core, r, lvl)
@@ -156,7 +156,7 @@ func (h *Hierarchy) inv(core int, r mem.Range, lvl isa.Level) int64 {
 	r.Lines(func(line mem.Addr, _ mem.LineMask) {
 		lat += p.ScanPerFrame
 		if h.l1[core].InvalidateInto(line, &dead) {
-			h.ctr.Inc("inv.l1lines", 1)
+			h.ctr(core).Inc("inv.l1lines", 1)
 			if dead.IsDirty() {
 				h.wbDirtyWordsOfInvalidated(b, &dead, lvl)
 				drains++
@@ -165,14 +165,14 @@ func (h *Hierarchy) inv(core int, r mem.Range, lvl isa.Level) int64 {
 		if lvl == isa.LevelGlobal {
 			lat += p.ScanPerFrame // L2 tag check
 			if h.l2[b].InvalidateInto(line, &dead) {
-				h.ctr.Inc("inv.l2lines", 1)
+				h.ctr(core).Inc("inv.l2lines", 1)
 				if dead.IsDirty() {
-					h.pushL2WordsToL3(&dead)
+					h.pushL2WordsToL3(core, &dead)
 					drains++
 				}
 			}
 		}
-		h.countLineOp("inv", lvl, 1)
+		h.countLineOp(core, "inv", lvl, 1)
 	})
 	lat += int64(drains) * p.WBOccupancy
 	return lat
@@ -212,7 +212,7 @@ func (h *Hierarchy) wbAll(core int, useMEB bool, lvl isa.Level) int64 {
 	written := 0
 
 	if useMEB && meb != nil && meb.Valid() {
-		h.ctr.Inc("meb.served", 1)
+		h.ctr(core).Inc("meb.served", 1)
 		if h.fi != nil {
 			// Lines a faulty MEB silently discarded are invisible to this
 			// entry scan: hand them to the oracle as misses.
@@ -227,7 +227,7 @@ func (h *Hierarchy) wbAll(core int, useMEB bool, lvl isa.Level) int64 {
 		}
 	} else {
 		if useMEB && meb != nil {
-			h.ctr.Inc("meb.fallback", 1)
+			h.ctr(core).Inc("meb.fallback", 1)
 		}
 		if h.fi != nil {
 			// The full traversal sees every dirty line, so discarded MEB
@@ -250,7 +250,7 @@ func (h *Hierarchy) wbAll(core int, useMEB bool, lvl isa.Level) int64 {
 		meb.Clear()
 		h.sampleMEB(core)
 	}
-	h.countLineOp("wb", lvl, int64(written))
+	h.countLineOp(core, "wb", lvl, int64(written))
 
 	if lvl == isa.LevelGlobal {
 		b := h.m.BlockOf(core)
@@ -260,7 +260,7 @@ func (h *Hierarchy) wbAll(core int, useMEB bool, lvl isa.Level) int64 {
 		l2written := 0
 		l2.ForEachValid(func(_ cache.FrameID, l *cache.Line) {
 			if l.IsDirty() {
-				h.pushL2WordsToL3(l)
+				h.pushL2WordsToL3(core, l)
 				l2written++
 			}
 		})
@@ -268,7 +268,7 @@ func (h *Hierarchy) wbAll(core int, useMEB bool, lvl isa.Level) int64 {
 		if l2written > 0 {
 			lat += p.L3RT + h.m.Mesh.RTLatency(h.m.CoreNode(core), h.m.L3Node(0))
 		}
-		h.countLineOp("wb", lvl, int64(l2written))
+		h.countLineOp(core, "wb", lvl, int64(l2written))
 	}
 	return lat
 }
@@ -280,7 +280,7 @@ func (h *Hierarchy) wbAll(core int, useMEB bool, lvl isa.Level) int64 {
 // (INV_PROD ALL / inter-block Base's "INV ALL from L2"). Dirty data is
 // always written back before invalidation.
 func (h *Hierarchy) INVAll(core int, lazy bool, lvl isa.Level) int64 {
-	if h.invFault() {
+	if h.invFault(core) {
 		return 1
 	}
 	return h.invAll(core, lazy, lvl)
@@ -293,7 +293,7 @@ func (h *Hierarchy) invAll(core int, lazy bool, lvl isa.Level) int64 {
 		if b := h.ieb[core]; b != nil {
 			b.Arm()
 			h.sampleIEB(core)
-			h.ctr.Inc("ieb.armed", 1)
+			h.ctr(core).Inc("ieb.armed", 1)
 			return 1
 		}
 	}
@@ -303,17 +303,17 @@ func (h *Hierarchy) invAll(core int, lazy bool, lvl isa.Level) int64 {
 		h.wbDirtyWordsOfInvalidated(b, l, lvl)
 		drains++
 	})
-	h.ctr.Inc("inv.l1lines", int64(n))
-	h.countLineOp("inv", lvl, int64(n))
+	h.ctr(core).Inc("inv.l1lines", int64(n))
+	h.countLineOp(core, "inv", lvl, int64(n))
 	lat := p.FlashCost + int64(drains)*p.WBOccupancy
 	if lvl == isa.LevelGlobal {
 		l2drains := 0
 		n2 := h.l2[b].FlashInvalidate(func(l *cache.Line) {
-			h.pushL2WordsToL3(l)
+			h.pushL2WordsToL3(core, l)
 			l2drains++
 		})
-		h.ctr.Inc("inv.l2lines", int64(n2))
-		h.countLineOp("inv", lvl, int64(n2))
+		h.ctr(core).Inc("inv.l2lines", int64(n2))
+		h.countLineOp(core, "inv", lvl, int64(n2))
 		lat += p.FlashCost + int64(l2drains)*p.WBOccupancy
 	}
 	return lat
@@ -321,14 +321,14 @@ func (h *Hierarchy) invAll(core int, lazy bool, lvl isa.Level) int64 {
 
 // countLineOp tracks line-granular WB/INV operations by level, feeding the
 // Figure 11 global-operation counts.
-func (h *Hierarchy) countLineOp(op string, lvl isa.Level, n int64) {
+func (h *Hierarchy) countLineOp(core int, op string, lvl isa.Level, n int64) {
 	if n == 0 {
 		return
 	}
 	if lvl == isa.LevelGlobal {
-		h.ctr.Inc(op+".lines.global", n)
+		h.ctr(core).Inc(op+".lines.global", n)
 	} else {
-		h.ctr.Inc(op+".lines.local", n)
+		h.ctr(core).Inc(op+".lines.local", n)
 	}
 }
 
@@ -336,5 +336,6 @@ func (h *Hierarchy) countLineOp(op string, lvl isa.Level, n int64) {
 // and global (L2-depth) INV line operations — the quantities compared in
 // Figure 11.
 func (h *Hierarchy) GlobalOps() (wb, inv int64) {
-	return h.ctr.Get("wb.lines.global"), h.ctr.Get("inv.lines.global")
+	c := h.Counters()
+	return c.Get("wb.lines.global"), c.Get("inv.lines.global")
 }

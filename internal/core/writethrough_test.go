@@ -37,9 +37,9 @@ func TestWriteThroughLeavesL1Clean(t *testing.T) {
 		t.Error("write-through store should leave the L1 line clean")
 	}
 	// WB ALL finds nothing to do.
-	before := h.ctr.Get("wb.words")
+	before := h.Counters().Get("wb.words")
 	h.WBAll(0, false, isa.LevelAuto)
-	if h.ctr.Get("wb.words") != before {
+	if h.Counters().Get("wb.words") != before {
 		t.Error("WB ALL moved data on a write-through hierarchy")
 	}
 }
@@ -65,8 +65,8 @@ func TestWriteThroughPaysPerStoreTraffic(t *testing.T) {
 	if after[stats.Writeback]-beforeTr[stats.Writeback] < 10 {
 		t.Error("write-through should pay per-store writeback traffic")
 	}
-	if h.ctr.Get("wt.stores") != 10 {
-		t.Errorf("wt.stores = %d", h.ctr.Get("wt.stores"))
+	if h.Counters().Get("wt.stores") != 10 {
+		t.Errorf("wt.stores = %d", h.Counters().Get("wt.stores"))
 	}
 }
 

@@ -1,0 +1,370 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// testShardedHierarchy exercises the block-parallel executor with both
+// op classes: cacheable accesses hit a per-core private memory and are
+// shard-LOCAL with a state-dependent latency; uncacheable accesses hit
+// one shared memory and are GLOBAL. The shared-cell latency depends on
+// the value stored there, so any deviation from the serial global order
+// shows up in cycle counts and loaded values, not just in races.
+type testShardedHierarchy struct {
+	nullHierarchy
+	ms            []*mem.Memory
+	shared        *mem.Memory
+	coresPerShard int
+	shards        int
+	globalCalls   atomic.Int64
+}
+
+func newTestShardedHierarchy(cores, coresPerShard, shards int) *testShardedHierarchy {
+	h := &testShardedHierarchy{
+		nullHierarchy: *newNullHierarchy(),
+		ms:            make([]*mem.Memory, cores),
+		shared:        mem.NewMemory(),
+		coresPerShard: coresPerShard,
+		shards:        shards,
+	}
+	for i := range h.ms {
+		h.ms[i] = mem.NewMemory()
+	}
+	return h
+}
+
+func (h *testShardedHierarchy) Load(core int, a mem.Addr) (mem.Word, int64) {
+	v := h.ms[core].ReadWord(a)
+	return v, 1 + int64(v%3)
+}
+
+func (h *testShardedHierarchy) Store(core int, a mem.Addr, v mem.Word) int64 {
+	h.ms[core].WriteWord(a, v)
+	return 1
+}
+
+func (h *testShardedHierarchy) LoadUncached(core int, a mem.Addr) (mem.Word, int64) {
+	h.globalCalls.Add(1)
+	v := h.shared.ReadWord(a)
+	return v, 2 + int64(v%5)
+}
+
+func (h *testShardedHierarchy) StoreUncached(core int, a mem.Addr, v mem.Word) int64 {
+	h.globalCalls.Add(1)
+	old := h.shared.ReadWord(a)
+	h.shared.WriteWord(a, v)
+	return 2 + int64(old%5)
+}
+
+func (h *testShardedHierarchy) Memory() *mem.Memory { return h.shared }
+func (h *testShardedHierarchy) ParallelShards() int { return h.shards }
+func (h *testShardedHierarchy) ShardOf(core int) int {
+	// Fold core groups round-robin into the shard count: ownership is
+	// per-core here, so any grouping is sound.
+	return (core / h.coresPerShard) % h.shards
+}
+func (h *testShardedHierarchy) OpLocal(core int, op *isa.Op) bool {
+	switch op.Kind {
+	case isa.OpLoad, isa.OpStore, isa.OpCompute:
+		return true
+	}
+	return false
+}
+
+// mixedGuests combines every interaction the executor must serialize:
+// private churn (local), a lock-guarded shared counter (sync + global),
+// barrier phases, and a flag handoff chain. Each guest records what it
+// observed into private memory, which loadU'd back makes the run's
+// observable history part of the shared state.
+func mixedGuests(threads, rounds int) []Guest {
+	guests := make([]Guest, threads)
+	for i := range guests {
+		i := i
+		guests[i] = func(p Proc) {
+			base := mem.Addr(0x1000 + i*0x400)
+			const counter = mem.Addr(0x10)
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < 20; k++ {
+					p.Store(base+mem.Addr(k%8*4), mem.Word(i*1000+k+r))
+					p.Compute(int64(1 + (i+k)%5))
+					_ = p.Load(base + mem.Addr((k+3)%8*4))
+				}
+				p.Acquire(1)
+				v := p.LoadU(counter)
+				p.StoreU(counter, v+1)
+				p.Release(1)
+				p.Store(base+0x100+mem.Addr(r*4), v)
+				p.Barrier(7)
+				if i == 0 {
+					p.FlagSet(3, int64(r+1))
+				} else if i == 1 {
+					p.FlagWait(3, int64(r+1))
+				}
+			}
+		}
+	}
+	return guests
+}
+
+// runMixed executes the mixed workload once with the given shard count
+// (1 forces the serial pipelined scheduler) and returns the result plus
+// a digest of every observation the guests recorded.
+func runMixed(t *testing.T, threads, coresPerShard, shards, rounds int) (*Result, string) {
+	t.Helper()
+	h := newTestShardedHierarchy(threads, coresPerShard, shards)
+	e := New(h, mixedGuests(threads, rounds))
+	res, err := e.Run()
+	if err != nil {
+		t.Fatalf("run (shards=%d): %v", shards, err)
+	}
+	digest := fmt.Sprintf("counter=%d;", h.shared.ReadWord(0x10))
+	for c := range h.ms {
+		for r := 0; r < rounds; r++ {
+			digest += fmt.Sprintf("%d,", h.ms[c].ReadWord(mem.Addr(0x1000+c*0x400+0x100+r*4)))
+		}
+	}
+	return res, digest
+}
+
+// TestBlockParallelMatchesSerial is the executor's core determinism
+// gate: N shards must reproduce the serial scheduler's result bit for
+// bit — cycles, per-thread stalls, op counts, and every value the
+// guests observed through the shared counter.
+func TestBlockParallelMatchesSerial(t *testing.T) {
+	const threads, coresPerShard, rounds = 16, 4, 6
+	serial, sdig := runMixed(t, threads, coresPerShard, 1, rounds)
+	for _, shards := range []int{2, 4} {
+		par, pdig := runMixed(t, threads, coresPerShard, shards, rounds)
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("shards=%d: result diverged from serial:\nserial: %+v\npar:    %+v", shards, serial, par)
+		}
+		if sdig != pdig {
+			t.Errorf("shards=%d: observed history diverged:\nserial: %s\npar:    %s", shards, sdig, pdig)
+		}
+	}
+	if want := mem.Word(threads * rounds); want != 0 {
+		// Sanity: the lock-guarded counter saw every increment.
+		h := newTestShardedHierarchy(threads, coresPerShard, 4)
+		if _, err := New(h, mixedGuests(threads, rounds)).Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := h.shared.ReadWord(0x10); got != want {
+			t.Errorf("shared counter = %d, want %d", got, want)
+		}
+	}
+}
+
+// TestBlockParallelPhaseBudget drives one shard through far more local
+// ops than parPhaseBudget so the budget-quiesce/resume path is covered,
+// and checks the op totals survived the shard merges.
+func TestBlockParallelPhaseBudget(t *testing.T) {
+	const threads, ops = 4, parPhaseBudget/2 + 1000
+	guests := make([]Guest, threads)
+	for i := range guests {
+		i := i
+		guests[i] = func(p Proc) {
+			base := mem.Addr(0x1000 + i*0x400)
+			for k := 0; k < ops; k++ {
+				p.Store(base, mem.Word(k))
+			}
+		}
+	}
+	h := newShardedNullHierarchy(threads, 1)
+	res, err := New(h, guests).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Ops[isa.OpStore]; got != threads*ops {
+		t.Fatalf("store count %d, want %d", got, threads*ops)
+	}
+}
+
+// TestBlockParallelObserverFallsBackToSerial checks that attaching an
+// observer disables the parallel executor (event order is defined by
+// global execution order) while still producing the same result.
+func TestBlockParallelObserverFallsBackToSerial(t *testing.T) {
+	const threads, coresPerShard, rounds = 8, 2, 3
+	serial, _ := runMixed(t, threads, coresPerShard, 1, rounds)
+
+	h := newTestShardedHierarchy(threads, coresPerShard, 4)
+	e := New(h, mixedGuests(threads, rounds))
+	events := 0
+	e.SetObserver(observerFunc(func(Event) { events++ }))
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("observer saw no events")
+	}
+	if !reflect.DeepEqual(serial, res) {
+		t.Errorf("observed run diverged from serial:\nserial: %+v\nobs:    %+v", serial, res)
+	}
+}
+
+type observerFunc func(Event)
+
+func (f observerFunc) OnEvent(ev Event) { f(ev) }
+
+// TestBlockParallelCancel covers the coordinator's ctx-poll exit.
+func TestBlockParallelCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h := newShardedNullHierarchy(8, 2)
+	_, err := New(h, benchGuests(8)).RunCtx(ctx)
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}
+
+// TestBlockParallelLivelock covers the coordinator watchdog: a spin loop
+// polling an uncached flag that is never set burns global ops without a
+// grant, which must trip the no-progress limit, not hang.
+func TestBlockParallelLivelock(t *testing.T) {
+	const threads = 4
+	guests := make([]Guest, threads)
+	for i := range guests {
+		i := i
+		guests[i] = func(p Proc) {
+			if i == 0 {
+				for p.LoadU(0x20) == 0 {
+					p.Compute(5)
+				}
+				return
+			}
+			p.Compute(10)
+		}
+	}
+	h := newTestShardedHierarchy(threads, 2, 2)
+	e := New(h, guests)
+	e.NoProgressLimit = 2000
+	_, err := e.Run()
+	lerr, ok := err.(*LivelockError)
+	if !ok {
+		t.Fatalf("expected LivelockError, got %v", err)
+	}
+	if lerr.Steps < 2000 {
+		t.Fatalf("livelock fired early: %d steps", lerr.Steps)
+	}
+}
+
+// TestBlockParallelDeadlock covers the all-quiescent/no-pending exit: an
+// acquire on a lock that is never released leaves a blocked thread and
+// no runnable work.
+func TestBlockParallelDeadlock(t *testing.T) {
+	const threads = 4
+	guests := make([]Guest, threads)
+	for i := range guests {
+		i := i
+		guests[i] = func(p Proc) {
+			if i < 2 {
+				p.Acquire(9) // second acquirer blocks forever
+				return       // winner never releases
+			}
+			p.Compute(3)
+		}
+	}
+	h := newTestShardedHierarchy(threads, 2, 2)
+	_, err := New(h, guests).Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+// TestBlockParallelGuestPanic covers shard-side error propagation.
+func TestBlockParallelGuestPanic(t *testing.T) {
+	guests := []Guest{
+		func(p Proc) {
+			p.Store(0x1000, 1)
+			panic("guest bug")
+		},
+		func(p Proc) { p.Compute(5) },
+		func(p Proc) { p.Compute(5) },
+		func(p Proc) { p.Compute(5) },
+	}
+	h := newShardedNullHierarchy(4, 2)
+	_, err := New(h, guests).Run()
+	if err == nil {
+		t.Fatal("expected guest panic to surface as an error")
+	}
+}
+
+// TestBlockParallelDMASynced covers the cross-block DMA ordering check's
+// happy path: the target block's threads are parked on a flag before the
+// transfer, so the target shard is horizon-bounded below the DMA and the
+// run must match serial byte for byte.
+func TestBlockParallelDMASynced(t *testing.T) {
+	run := func(shards int) *Result {
+		guests := []Guest{
+			func(p Proc) { // shard 0: transfer, then release the consumers
+				p.Compute(5)
+				p.DMACopy(0x9000, mem.RangeOf(0x8000, 4*mem.LineBytes), 1)
+				p.FlagSet(11, 1)
+			},
+			func(p Proc) { p.FlagWait(11, 1); p.Compute(20) }, // shard 1
+			func(p Proc) { p.FlagWait(11, 1); p.Compute(30) }, // shard 1
+		}
+		h := newTestShardedHierarchy(3, 1, shards)
+		// Cores 1 and 2 fold onto shard 1 when sharded (coresPerShard=1,
+		// ShardOf folds round-robin over 2 shards maps core 2 -> 0; use 3
+		// shards so core i -> shard i, matching DMACopy's block numbering).
+		res, err := New(h, guests).Run()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return res
+	}
+	serial := run(1)
+	par := run(3)
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("synced DMA run diverged:\nserial: %+v\npar:    %+v", serial, par)
+	}
+}
+
+// TestBlockParallelDMAOverlapFails covers the check's failure path: the
+// target block free-runs local compute far past the transfer's key, so
+// the deposit cannot be interleaved deterministically and the run must
+// fail loudly instead of returning divergent results.
+func TestBlockParallelDMAOverlapFails(t *testing.T) {
+	guests := []Guest{
+		func(p Proc) { // shard 0: early cross-block transfer
+			p.Compute(5)
+			p.DMACopy(0x9000, mem.RangeOf(0x8000, 4*mem.LineBytes), 1)
+		},
+		func(p Proc) { // shard 1: unsynchronized local churn
+			for k := 0; k < 5000; k++ {
+				p.Store(0x2000+mem.Addr(k%16*4), mem.Word(k))
+			}
+		},
+	}
+	h := newTestShardedHierarchy(2, 1, 2)
+	_, err := New(h, guests).Run()
+	if err == nil {
+		t.Fatal("expected a determinism error for DMA overlapping a free-running target")
+	}
+}
+
+// TestBlockParallelStallsMatch pins the per-thread stall attribution:
+// under block parallelism the wait spans charged at wake time must be
+// identical to serial, category by category.
+func TestBlockParallelStallsMatch(t *testing.T) {
+	const threads, coresPerShard, rounds = 12, 3, 4
+	serial, _ := runMixed(t, threads, coresPerShard, 1, rounds)
+	par, _ := runMixed(t, threads, coresPerShard, 4, rounds)
+	for i := range serial.PerThread {
+		for k := stats.StallKind(0); k < stats.NumStallKinds; k++ {
+			if serial.PerThread[i][k] != par.PerThread[i][k] {
+				t.Errorf("thread %d stall %v: serial %d, parallel %d",
+					i, k, serial.PerThread[i][k], par.PerThread[i][k])
+			}
+		}
+	}
+}

@@ -221,12 +221,18 @@ type Result struct {
 
 // Engine drives one run.
 type Engine struct {
-	h    Hierarchy
-	ctrl *hwsync.Controller
-	ts   []*thread
-	rq   runq
-	obs  Observer
-	rec  *obs.Recorder
+	h      Hierarchy
+	ctrl   *hwsync.Controller
+	tstore []thread // contiguous thread arena; ts points into it
+	ts     []*thread
+	rq     runq
+	obs    Observer
+	rec    *obs.Recorder
+
+	// par is non-nil while the block-parallel executor is active; wake
+	// then routes grants to the woken thread's shard queue (see
+	// blockpar.go).
+	par *parGroup
 
 	// pipelined selects the event-driven protocol (guests deposit ops
 	// asynchronously); it is the default. Installing a Scheduler switches
@@ -276,6 +282,9 @@ type thread struct {
 	halt     func()
 	yield    func(struct{}) bool
 	finished bool
+	// pr is the guest-facing Proc, embedded here so it lives in the
+	// thread arena instead of a per-thread heap allocation.
+	pr proc
 }
 
 type tstate int
@@ -287,12 +296,20 @@ const (
 )
 
 // New builds an engine over hierarchy h for the given guests (one per
-// core, in core order).
+// core, in core order). Thread contexts live in one contiguous arena
+// (structure-of-arrays layout indexed by dense thread id): a single
+// allocation instead of one per thread, with the op rings embedded, so
+// a 1024-core engine costs one slab plus the coroutine handles. The run
+// queue backing store is preallocated to its maximum occupancy.
 func New(h Hierarchy, guests []Guest) *Engine {
 	e := &Engine{h: h, ctrl: hwsync.New(h.SyncCost)}
+	e.tstore = make([]thread, len(guests))
+	e.ts = make([]*thread, len(guests))
 	for i, g := range guests {
-		e.ts = append(e.ts, &thread{id: i, guest: g})
+		e.tstore[i] = thread{id: i, guest: g}
+		e.ts[i] = &e.tstore[i]
 	}
+	e.rq.ts = make([]*thread, 0, len(guests))
 	return e
 }
 
@@ -337,6 +354,10 @@ func (e *Engine) RunCtx(ctx context.Context) (*Result, error) {
 		t.resume, t.halt = iter.Pull(guestSeq(t, len(e.ts)))
 	}
 	if e.pipelined {
+		if sh, ok := e.h.(ShardedHierarchy); ok && e.obs == nil && e.rec == nil &&
+			sh.ParallelShards() > 1 && len(e.ts) <= maxParThreads {
+			return e.runBlockParallel(ctx, sh)
+		}
 		return e.runPipelined(ctx)
 	}
 	return e.runSynchronous(ctx)
@@ -756,6 +777,11 @@ func (e *Engine) block(t *thread, op *isa.Op, as stats.StallKind) {
 	t.cur = *op
 	t.blockAt = t.time
 	t.blockAs = as
+	if e.par != nil {
+		// Blocking happens only on the coordinator; the shard loses its
+		// free-run eligibility until the thread is granted.
+		e.par.shards[e.par.shardOf[t.id]].blocked++
+	}
 }
 
 // granted records a completed blocking sync op: watchdog progress plus
@@ -787,9 +813,14 @@ func (e *Engine) wake(g hwsync.Grant) {
 	t.time = g.At
 	t.state = ready
 	e.granted(t, &t.cur, g.At)
-	if e.pipelined {
+	switch {
+	case e.par != nil:
+		s := e.par.shards[e.par.shardOf[t.id]]
+		s.blocked--
+		s.rq.push(t)
+	case e.pipelined:
 		e.rq.push(t)
-	} else {
+	default:
 		e.reply(t, 0)
 	}
 }
@@ -835,7 +866,8 @@ func guestSeq(t *thread, n int) iter.Seq[struct{}] {
 				t.err = fmt.Errorf("guest panic: %v", r)
 			}
 		}()
-		t.guest(&proc{t: t, n: n})
+		t.pr = proc{t: t, n: n}
+		t.guest(&t.pr)
 	}
 }
 

@@ -80,8 +80,8 @@ type Hierarchy struct {
 	l2      []*cache.Cache
 	l3      *cache.Cache
 
-	l2dir []*dirTable // per block: line -> per-core presence (core index within block)
-	l3dir *dirTable   // line -> per-block presence
+	l2dir  []*dirTable // per block: line -> per-core presence (core index within block)
+	l3dirs []*dirTable // per L3 bank: line -> per-block presence
 
 	ctr *stats.Counters
 }
@@ -107,8 +107,22 @@ func New(m *topo.Machine, cfg Config) *Hierarchy {
 		if cfg.L3.Bytes == 0 {
 			panic("mesi: machine has L3 banks but config has no L3 cache")
 		}
+		if m.Blocks > 64 {
+			// The L3 directory's presence field is a uint64 over blocks;
+			// a larger machine would silently shift bits into oblivion.
+			panic(fmt.Sprintf("mesi: %d blocks exceed the 64-bit directory presence field", m.Blocks))
+		}
 		h.l3 = cache.New(cfg.L3)
-		h.l3dir = newDirTable()
+		// One directory table per L3 bank, mirroring the physical banking:
+		// lines hash to banks, so each table stays small and bank lookups
+		// never touch another bank's map.
+		h.l3dirs = make([]*dirTable, m.L3Banks)
+		for i := range h.l3dirs {
+			h.l3dirs[i] = newDirTable()
+		}
+	}
+	if m.CoresPerBlock > 64 {
+		panic(fmt.Sprintf("mesi: %d cores per block exceed the 64-bit directory presence field", m.CoresPerBlock))
 	}
 	return h
 }
@@ -139,7 +153,12 @@ func (h *Hierarchy) dirL2(b int, line mem.Addr) *dirEntry {
 }
 
 func (h *Hierarchy) dirL3(line mem.Addr) *dirEntry {
-	return h.l3dir.getOrCreate(line)
+	return h.dirTableL3(line).getOrCreate(line)
+}
+
+// dirTableL3 returns the directory table of the L3 bank that owns line.
+func (h *Hierarchy) dirTableL3(line mem.Addr) *dirTable {
+	return h.l3dirs[h.m.L3BankOf(line)]
 }
 
 // ---- Core-facing operations -------------------------------------------
@@ -513,7 +532,7 @@ func (h *Hierarchy) evictL2Line(b int, victim *cache.Line) {
 				e3.state = dirUncached
 			}
 		}
-		h.l3dir.freeIfZero(victim.Tag)
+		h.dirTableL3(victim.Tag).freeIfZero(victim.Tag)
 	}
 	h.ctr.Inc("l2.evictions", 1)
 }
@@ -668,7 +687,7 @@ func (h *Hierarchy) recallL3Victim(victim *cache.Line) {
 		}
 		h.l2dir[b].del(victim.Tag)
 	})
-	h.l3dir.del(victim.Tag)
+	h.dirTableL3(victim.Tag).del(victim.Tag)
 	if dirty {
 		h.backing.WriteLine(victim.Tag, &words, mem.FullMask)
 		h.m.Mesh.Account(stats.MemoryTraffic, noc.DataFlits(mem.LineBytes))

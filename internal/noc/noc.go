@@ -35,11 +35,28 @@ type NodeID int
 // Coord is a mesh coordinate.
 type Coord struct{ X, Y int }
 
-// Mesh is a W×H 2D mesh with a node placement map.
+// Node ID segmentation: the topo package hands out core IDs from 0, L3
+// bank IDs from 1<<16, and memory port IDs from 1<<17. Placements are
+// stored in one dense slice per segment (structure-of-arrays) so the
+// routing hot path (Coord → Hops → RTLatency, hit on every linefill and
+// writeback) is two slice loads instead of two map probes.
+const (
+	segCoreEnd = 1 << 16
+	segL3Base  = 1 << 16
+	segL3End   = 1 << 17
+	segMemBase = 1 << 17
+)
+
+// Mesh is a W×H 2D mesh with a node placement table.
 type Mesh struct {
-	w, h  int
-	place map[NodeID]Coord
-	tr    stats.Traffic
+	w, h int
+	// Per-segment placements, indexed by id minus the segment base and
+	// grown on Place. An unplaced slot has X == -1.
+	cores, l3s, mems []Coord
+	tr               stats.Traffic
+	// shardTr, when non-nil, gives block-parallel shards private traffic
+	// accumulators; Traffic() folds them into tr's view.
+	shardTr []stats.Traffic
 	// hooks holds the observability histograms when a recorder is
 	// attached (nil otherwise — the only cost then is this nil test).
 	hooks *meshObs
@@ -73,7 +90,28 @@ func New(w, h int) *Mesh {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("noc: invalid mesh %dx%d", w, h))
 	}
-	return &Mesh{w: w, h: h, place: make(map[NodeID]Coord)}
+	return &Mesh{w: w, h: h}
+}
+
+// seg returns the placement slice for id's segment and id's index into
+// it, growing the slice (with unplaced sentinels) to cover the index.
+func (m *Mesh) seg(id NodeID) (*[]Coord, int) {
+	var s *[]Coord
+	i := int(id)
+	switch {
+	case i >= 0 && i < segCoreEnd:
+		s = &m.cores
+	case i >= segL3Base && i < segL3End:
+		s, i = &m.l3s, i-segL3Base
+	case i >= segMemBase:
+		s, i = &m.mems, i-segMemBase
+	default:
+		panic(fmt.Sprintf("noc: node id %d outside every placement segment", id))
+	}
+	for len(*s) <= i {
+		*s = append(*s, Coord{X: -1})
+	}
+	return s, i
 }
 
 // Place assigns node id to coordinate c. Placing outside the mesh panics:
@@ -83,7 +121,8 @@ func (m *Mesh) Place(id NodeID, c Coord) {
 	if c.X < 0 || c.X >= m.w || c.Y < 0 || c.Y >= m.h {
 		panic(fmt.Sprintf("noc: coordinate %v outside %dx%d mesh", c, m.w, m.h))
 	}
-	m.place[id] = c
+	s, i := m.seg(id)
+	(*s)[i] = c
 }
 
 // Dims returns the mesh dimensions.
@@ -92,11 +131,20 @@ func (m *Mesh) Dims() (w, h int) { return m.w, m.h }
 // Coord returns the placement of id; it panics if the node was never
 // placed, because hierarchies only route between statically placed nodes.
 func (m *Mesh) Coord(id NodeID) Coord {
-	c, ok := m.place[id]
-	if !ok {
+	var s []Coord
+	i := int(id)
+	switch {
+	case i >= 0 && i < segCoreEnd:
+		s = m.cores
+	case i >= segL3Base && i < segL3End:
+		s, i = m.l3s, i-segL3Base
+	case i >= segMemBase:
+		s, i = m.mems, i-segMemBase
+	}
+	if i < 0 || i >= len(s) || s[i].X < 0 {
 		panic(fmt.Sprintf("noc: node %d not placed", id))
 	}
-	return c
+	return s[i]
 }
 
 // Hops returns the Manhattan distance between two placed nodes.
@@ -149,11 +197,51 @@ func (m *Mesh) Account(c stats.TrafficClass, flits int64) {
 	}
 }
 
-// Traffic returns the accumulated flit counts.
-func (m *Mesh) Traffic() stats.Traffic { return m.tr }
+// SetTrafficShards gives the mesh n private traffic accumulators for
+// block-parallel execution, so shard-local accounting never contends on
+// (or races over) the shared counters. n <= 0 removes them.
+func (m *Mesh) SetTrafficShards(n int) {
+	if n <= 0 {
+		m.shardTr = nil
+		return
+	}
+	m.shardTr = make([]stats.Traffic, n)
+}
+
+// AccountShard is Account for a message whose accounting may happen on a
+// block-parallel shard. With shard accumulators installed and no
+// observability hooks attached, the flits land in the shard's private
+// counter; otherwise it behaves exactly like Account (the block-parallel
+// executor never engages when a recorder is attached, so the fallback is
+// only taken on serial runs).
+func (m *Mesh) AccountShard(shard int, c stats.TrafficClass, flits int64) {
+	if m.shardTr == nil || m.hooks != nil {
+		m.Account(c, flits)
+		return
+	}
+	m.shardTr[shard].Add(c, flits)
+}
+
+// Traffic returns the accumulated flit counts, folding in any per-shard
+// accumulators. Callers must be quiescent with respect to shard execution
+// (the hierarchies only read traffic after Drain or between epochs).
+func (m *Mesh) Traffic() stats.Traffic {
+	tr := m.tr
+	for s := range m.shardTr {
+		for c := range m.shardTr[s] {
+			tr[c] += m.shardTr[s][c]
+		}
+	}
+	return tr
+}
 
 // ResetTraffic clears the accumulated flit counts.
-func (m *Mesh) ResetTraffic() { m.tr = stats.Traffic{} }
+func (m *Mesh) ResetTraffic() {
+	m.tr = stats.Traffic{}
+	for s := range m.shardTr {
+		m.shardTr[s] = stats.Traffic{}
+	}
+}
 
 func abs(x int) int {
 	if x < 0 {

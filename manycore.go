@@ -1,0 +1,213 @@
+package hic
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/apps/jacobi"
+	"repro/internal/apps/nas"
+	"repro/internal/compiler"
+	"repro/internal/runner"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// This file implements the many-core block-scaling experiment (E7): the
+// same Model 2 applications as the inter-block evaluation, run on custom
+// machines from 1 block up to 128 blocks of 8 cores (1024 cores), under
+// the level-adaptive Addr+L mode. The experiment exists to exercise the
+// simulator itself at scale — the block-parallel engine makes the large
+// cells tractable, and the curve documents how simulated execution time
+// scales as the same problem is spread over more blocks.
+
+// DefaultManycoreCoresPerBlock matches the paper's 8-core blocks.
+const DefaultManycoreCoresPerBlock = 8
+
+// NewManycoreMachine returns a custom machine with the given block count
+// and cores per block (Table III parameters, 4 L3 banks), calibrated like
+// the intra/inter machines.
+func NewManycoreMachine(blocks, coresPerBlock int) *Machine {
+	m := topo.NewCustom(blocks, coresPerBlock, 4, topo.DefaultParams())
+	m.Params.TraversalPerFrame = 4
+	return m
+}
+
+// ManycoreBlockCounts returns the powers of two from 1 through max (max
+// itself included when it is a power of two).
+func ManycoreBlockCounts(max int) []int {
+	var counts []int
+	for b := 1; b <= max; b *= 2 {
+		counts = append(counts, b)
+	}
+	return counts
+}
+
+// ManycoreWorkloads returns the block-scaling applications for a machine
+// with the given core count: Jacobi (nearest-neighbor exchange, the
+// level-adaptive best case) and NAS EP (reduction-only communication).
+// Every core runs one thread.
+func ManycoreWorkloads(s Scale, threads int) []*IRWorkload {
+	jsz := jacobi.Test
+	if s == ScaleBench {
+		jsz = jacobi.Bench
+	}
+	return []*IRWorkload{
+		jacobi.New(jsz, threads),
+		nas.EP(nasSize(s), threads),
+	}
+}
+
+// ManycoreResult is the outcome of the block-scaling experiment.
+type ManycoreResult struct {
+	// Curve holds one group per application and one bar per block count;
+	// the single segment is the simulated execution time normalized to
+	// the smallest machine in the sweep (strong scaling: the problem
+	// size is fixed while cores grow).
+	Curve *Figure
+	// Raw holds every successful run's engine result, keyed by app then
+	// block count.
+	Raw map[string]map[int]*Result
+	// Runs holds one record per run in sweep order (errors included).
+	Runs []runner.RunRecord
+}
+
+// manycoreConfig is the grid's config key for a block count.
+func manycoreConfig(blocks int) string { return fmt.Sprintf("blocks-%d", blocks) }
+
+// manycoreTasks builds one task per (application, block count). Each cell
+// constructs its own machine and hierarchy; the block-parallel engine is
+// engaged per RunOptions like any other sweep.
+func manycoreTasks(s Scale, blockCounts []int, coresPerBlock int, opts RunOptions) []runner.Task {
+	var tasks []runner.Task
+	names := make(map[string]bool)
+	for _, w := range ManycoreWorkloads(s, coresPerBlock) {
+		names[w.Name] = true
+	}
+	for name := range names {
+		if !opts.wants(name) {
+			continue
+		}
+		name := name
+		for _, blocks := range blockCounts {
+			blocks := blocks
+			tasks = append(tasks, runner.Task{
+				Workload: name,
+				Config:   manycoreConfig(blocks),
+				Run: func(ctx context.Context) (*runner.Outcome, error) {
+					m := NewManycoreMachine(blocks, coresPerBlock)
+					var wl *IRWorkload
+					for _, w := range ManycoreWorkloads(s, m.NumCores()) {
+						if w.Name == name {
+							wl = w
+						}
+					}
+					h := NewModeHierarchy(m, ModeAddrL)
+					opts.engage(h)
+					rec := opts.instrument(h)
+					orc, _, err := opts.checks(h, wl.Threads)
+					if err != nil {
+						return nil, err
+					}
+					r, err := wl.RunObserved(ctx, h, compiler.ModeAddrL, orc, rec)
+					if err != nil {
+						opts.finish(name, manycoreConfig(blocks), rec, nil)
+						return nil, err
+					}
+					out := &runner.Outcome{Result: r}
+					opts.finish(name, manycoreConfig(blocks), rec, out)
+					return out, nil
+				},
+			})
+		}
+	}
+	// Map iteration order is random; the runner keys cells, but Runs is
+	// recorded in task order, so fix it for byte-identical JSON.
+	sortTasks(tasks)
+	return tasks
+}
+
+// sortTasks orders tasks by (workload, config) for deterministic sweep
+// records.
+func sortTasks(tasks []runner.Task) {
+	for i := 1; i < len(tasks); i++ {
+		for j := i; j > 0; j-- {
+			a, b := tasks[j-1], tasks[j]
+			if a.Workload < b.Workload || (a.Workload == b.Workload && a.Config <= b.Config) {
+				break
+			}
+			tasks[j-1], tasks[j] = b, a
+		}
+	}
+}
+
+// RunManycore executes the block-scaling sweep at scale s over the given
+// block counts (nil means 1..128) with coresPerBlock cores per block
+// (<= 0 means 8), under functional options.
+func RunManycore(ctx context.Context, s Scale, blockCounts []int, coresPerBlock int, opts ...Option) (*ManycoreResult, error) {
+	return RunManycoreOpts(ctx, s, blockCounts, coresPerBlock, NewRunOptions(opts...))
+}
+
+// RunManycoreOpts is RunManycore under explicit options; error semantics
+// match the other sweeps (partial results plus joined per-cell errors).
+func RunManycoreOpts(ctx context.Context, s Scale, blockCounts []int, coresPerBlock int, opts RunOptions) (*ManycoreResult, error) {
+	if len(blockCounts) == 0 {
+		blockCounts = ManycoreBlockCounts(128)
+	}
+	if coresPerBlock <= 0 {
+		coresPerBlock = DefaultManycoreCoresPerBlock
+	}
+	grid := runner.Run(ctx, manycoreTasks(s, blockCounts, coresPerBlock, opts), opts.runner())
+	res := &ManycoreResult{
+		Curve: &Figure{
+			Title:      fmt.Sprintf("Block scaling: normalized execution time (%d cores/block, Addr+L)", coresPerBlock),
+			Categories: []string{"cycles"},
+		},
+		Raw:  make(map[string]map[int]*Result),
+		Runs: grid.Records(),
+	}
+	for _, w := range ManycoreWorkloads(s, coresPerBlock) {
+		if !opts.wants(w.Name) {
+			continue
+		}
+		res.Raw[w.Name] = make(map[int]*Result)
+		for _, blocks := range blockCounts {
+			if r := grid.Result(w.Name, manycoreConfig(blocks)); r != nil {
+				res.Raw[w.Name][blocks] = r
+			}
+		}
+		// Normalize to the smallest machine by key, so the curve does not
+		// depend on completion order.
+		base := grid.Result(w.Name, manycoreConfig(blockCounts[0]))
+		if base == nil {
+			continue
+		}
+		g := stats.Group{Name: w.Name}
+		for _, blocks := range blockCounts {
+			r := grid.Result(w.Name, manycoreConfig(blocks))
+			if r == nil {
+				continue
+			}
+			g.Bars = append(g.Bars, stats.Bar{
+				Label:    manycoreConfig(blocks),
+				Segments: []float64{ratio(float64(r.Cycles), float64(base.Cycles))},
+			})
+		}
+		res.Curve.Groups = append(res.Curve.Groups, g)
+	}
+	return res, grid.Err()
+}
+
+// Document serializes the result for the shape checker and external
+// tooling.
+func (r *ManycoreResult) Document(s Scale) *runner.Document {
+	return &runner.Document{
+		Schema: runner.SchemaV2,
+		Kind:   runner.KindResults,
+		Scale:  s.Name(),
+		Suite:  "manycore",
+		Figures: []runner.Figure{
+			runner.FigureJSON("manycore", r.Curve),
+		},
+		Runs: r.Runs,
+	}
+}

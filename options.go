@@ -96,6 +96,16 @@ func WithOnly(workloads ...string) Option {
 	return func(o *RunOptions) { o.Only = workloads }
 }
 
+// WithBlockParallel runs each incoherent-hierarchy simulation with the
+// block-parallel engine: cores are partitioned by block and each block's
+// event heap runs on its own goroutine between deterministic sync epochs.
+// Results are byte-identical to serial execution; fault-injected and
+// recorder-attached runs silently degrade to the serial engine (their
+// state is not sharded). HCC cells are unaffected.
+func WithBlockParallel() Option {
+	return func(o *RunOptions) { o.BlockParallel = true }
+}
+
 // RunIntra executes the intra-block sweep (Figures 9 and 10) at scale s
 // under the given options; it is the options form of RunIntraBlockOpts
 // and shares its partial-result error semantics.
