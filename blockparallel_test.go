@@ -58,8 +58,9 @@ func TestBlockParallelIntraSweepMatchesSerial(t *testing.T) {
 // TestBlockParallelMetricsSnapshotsMatchSerial pins the degrade contract
 // for observability: a recorder-attached run is not sharded (the
 // recorder samples freely across cores), so requesting both metrics and
-// block parallelism must still produce the exact serial document,
-// hic-metrics/v1 snapshots included.
+// block parallelism must still produce the serial document — snapshots
+// included — except for the explicit degradation markers, which must
+// fire on every incoherent cell and appear nowhere in the serial sweep.
 func TestBlockParallelMetricsSnapshotsMatchSerial(t *testing.T) {
 	serial, err := RunInter(context.Background(), ScaleTest, WithParallel(2), WithMetrics())
 	if err != nil {
@@ -69,15 +70,74 @@ func TestBlockParallelMetricsSnapshotsMatchSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sj := encodeDoc(t, serial.Document(ScaleTest))
-	pj := encodeDoc(t, par.Document(ScaleTest))
-	if !bytes.Equal(sj, pj) {
-		t.Error("metrics-bearing inter sweep differs between serial and block-parallel engines")
+	for _, r := range serial.Runs {
+		if r.DegradedToSerial != "" {
+			t.Errorf("%s/%s: serial sweep marked degraded (%q)", r.Workload, r.Config, r.DegradedToSerial)
+		}
 	}
-	for _, r := range par.Runs {
+	// Every incoherent cell on the four-block machine must be marked, in
+	// both the run record and the obs counter; HCC cells (MESI hierarchy,
+	// never sharded) must not be.
+	for i := range par.Runs {
+		r := &par.Runs[i]
 		if r.Metrics == nil {
 			t.Fatalf("%s/%s: no metrics snapshot under block parallelism", r.Workload, r.Config)
 		}
+		degraded := r.Config != "HCC"
+		if got := r.DegradedToSerial; (got == "recorder") != degraded {
+			t.Errorf("%s/%s: degraded_to_serial = %q, want %v", r.Workload, r.Config, got, degraded)
+		}
+		if got := r.Metrics.Counters["engine.degraded_to_serial"]; (got == 1) != degraded {
+			t.Errorf("%s/%s: engine.degraded_to_serial counter = %d, want firing=%v", r.Workload, r.Config, got, degraded)
+		}
+		// Normalize the markers away; everything else must match the
+		// serial document byte for byte.
+		r.DegradedToSerial = ""
+		delete(r.Metrics.Counters, "engine.degraded_to_serial")
+	}
+	sj := encodeDoc(t, serial.Document(ScaleTest))
+	pj := encodeDoc(t, par.Document(ScaleTest))
+	if !bytes.Equal(sj, pj) {
+		t.Error("metrics-bearing inter sweep differs between serial and block-parallel engines beyond the degrade markers")
+	}
+}
+
+// TestBlockParallelDegradeReasons pins the full reason vocabulary of the
+// degraded_to_serial field: fault injection, an attached recorder, and a
+// coherence observer each force the serial engine on a multi-block
+// machine, and the run record names which one did it.
+func TestBlockParallelDegradeReasons(t *testing.T) {
+	cases := []struct {
+		reason string
+		opts   []Option
+	}{
+		// The fault plan's trigger index is past any realistic op count,
+		// so the cells still pass — only the attached cursor state forces
+		// serial execution.
+		{"fault-injection", []Option{WithFaultPlan("drop-wb@99999999; seed=1")}},
+		{"recorder", []Option{WithMetrics()}},
+		{"observer", []Option{WithCoherenceCheck()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.reason, func(t *testing.T) {
+			opts := append([]Option{WithParallel(2), WithOnly("ep"), WithBlockParallel()}, tc.opts...)
+			res, err := RunInter(context.Background(), ScaleTest, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Runs) == 0 {
+				t.Fatal("sweep produced no run records")
+			}
+			for _, r := range res.Runs {
+				want := tc.reason
+				if r.Config == "HCC" {
+					want = "" // MESI hierarchy: never sharded, never degraded
+				}
+				if r.DegradedToSerial != want {
+					t.Errorf("%s/%s: degraded_to_serial = %q, want %q", r.Workload, r.Config, r.DegradedToSerial, want)
+				}
+			}
+		})
 	}
 }
 

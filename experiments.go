@@ -137,6 +137,30 @@ func (o RunOptions) engage(h engine.Hierarchy) {
 	}
 }
 
+// degradeReason reports why this cell's requested block-parallel
+// execution will nevertheless run serially: the hierarchy's own degrade
+// causes first (fault plans and recorders are global state), then an
+// attached oracle (the engine refuses to shard observed runs — the
+// observer consumes a serialized event stream). Empty when sharding
+// engages, when block parallelism was not requested, or when the
+// hierarchy cannot shard at all (MESI, single-block machines).
+func (o RunOptions) degradeReason(h engine.Hierarchy, orc *oracle.Oracle) string {
+	if !o.BlockParallel {
+		return ""
+	}
+	ch, ok := h.(*core.Hierarchy)
+	if !ok {
+		return ""
+	}
+	if r := ch.DegradeReason(); r != "" {
+		return r
+	}
+	if orc != nil && ch.ParallelShards() > 1 {
+		return "observer"
+	}
+	return ""
+}
+
 // wants reports whether workload name is selected by the Only filter.
 func (o RunOptions) wants(name string) bool {
 	if len(o.Only) == 0 {
@@ -295,7 +319,7 @@ func intraTasks(s Scale, opts RunOptions) []runner.Task {
 						opts.finish(wl.Name, cfg.Name, rec, nil)
 						return nil, err
 					}
-					out := &runner.Outcome{Result: r}
+					out := &runner.Outcome{Result: r, Degraded: opts.degradeReason(h, orc)}
 					opts.finish(wl.Name, cfg.Name, rec, out)
 					return out, nil
 				},
@@ -449,7 +473,7 @@ func interTasks(s Scale, opts RunOptions) []runner.Task {
 						opts.finish(wl.Name, mode.String(), rec, nil)
 						return nil, err
 					}
-					out := &runner.Outcome{Result: r}
+					out := &runner.Outcome{Result: r, Degraded: opts.degradeReason(h, orc)}
 					if hi, ok := h.(*core.Hierarchy); ok {
 						out.GlobalWB, out.GlobalINV = hi.GlobalOps()
 					}

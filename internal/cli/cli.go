@@ -72,6 +72,9 @@ const (
 		FlagSchema | FlagCoherence | FlagObs | FlagProfile
 	// JSONFlags is the minimal machine-output set (litmus, overhead).
 	JSONFlags = FlagJSON | FlagSchema
+	// FuzzFlags is the fuzz-campaign set (hicfuzz): machine output plus
+	// sweep parallelism and wall-time reporting.
+	FuzzFlags = FlagParallel | FlagJSON | FlagSchema | FlagTiming
 )
 
 // Flags holds the parsed shared flags. Fields whose flag was not

@@ -35,6 +35,28 @@ type Scheduler interface {
 // scheduler mid-run is not supported.
 func (e *Engine) SetScheduler(s Scheduler) { e.sched = s }
 
+// MinTimeScheduler replays the engine's default scheduling policy —
+// minimum local clock, thread-ID tie-break — through the external
+// scheduler interface. Installing it forces the synchronous rendezvous
+// protocol (the serial reference engine) while executing the exact op
+// order of the default fast-forward run, which is what makes it the
+// baseline of differential tests: results must be byte-identical to the
+// schedulerless run.
+type MinTimeScheduler struct{}
+
+// Pick returns the first candidate with the minimal local clock; the
+// candidate list arrives in ascending thread-ID order, so ties resolve
+// to the lowest thread ID, matching the run queue.
+func (MinTimeScheduler) Pick(cands []Candidate) int {
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Time < cands[best].Time {
+			best = i
+		}
+	}
+	return best
+}
+
 // ScheduleAbortError reports a run cut off by its Scheduler returning a
 // negative pick — typically a schedule explorer's step budget.
 type ScheduleAbortError struct {

@@ -19,7 +19,7 @@
 // Indices count dynamic instructions per hierarchy instance in execution
 // order, which is deterministic under the engine; the same plan over the
 // same workload therefore injects the same fault every run. An index may
-// be spelled @rand, which resolves (at parse time, via splitmix64 over
+// be spelled @rand, which resolves (at parse time, via SplitMix64 over
 // the plan seed) to a pseudo-random index in [0, 256) — enough to land
 // inside the steady state of every test-scale workload while keeping
 // plans short.
@@ -86,9 +86,10 @@ func (p Plan) Empty() bool {
 		len(p.IEBLie) == 0 && p.MEBCap == 0
 }
 
-// splitmix64 is the standard 64-bit mixer; it gives @rand resolution a
-// stable, dependency-free pseudo-random stream.
-func splitmix64(x uint64) uint64 {
+// SplitMix64 is the standard 64-bit mixer; it gives @rand resolution
+// (and the fuzz generator in internal/fuzzgen) a stable,
+// dependency-free pseudo-random stream.
+func SplitMix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
@@ -117,7 +118,7 @@ func Parse(s string) (Plan, error) {
 	}
 	rng := p.Seed
 	nextRand := func() uint64 {
-		rng = splitmix64(rng)
+		rng = SplitMix64(rng)
 		return rng % randIndexSpace
 	}
 	index := func(v string) (uint64, error) {

@@ -1,0 +1,42 @@
+package fuzzgen
+
+import (
+	"testing"
+
+	"repro/internal/litmus"
+)
+
+// FuzzAnnotatedProgram is the Go-native half of the campaign: the fuzz
+// engine explores the seed space and every generated, correctly
+// annotated program must run violation-free and engine-identically.
+// A failing input is reported with its shrunk litmus-DSL repro, so the
+// corpus entry is actionable without re-running the shrinker by hand.
+//
+// CI runs this under -fuzz with a short budget; without -fuzz it
+// regression-checks the seed corpus below.
+func FuzzAnnotatedProgram(f *testing.F) {
+	for seed := uint64(1); seed <= 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		p := Gen(seed)
+		for _, cfg := range []litmus.Config{litmus.Base, litmus.BMI} {
+			res := Check(p.Test, cfg)
+			var sig Signature
+			switch {
+			case res.Err != nil:
+				sig = Signature{Kind: "error"}
+			case len(res.Violations) > 0:
+				sig = Signature{Kind: "violation", Class: string(res.Violations[0].Class)}
+			case res.Diverged != "":
+				sig = Signature{Kind: "diverge"}
+			default:
+				continue
+			}
+			shrunk := Shrink(p.Test, cfg, sig)
+			t.Fatalf("seed %d under %s: annotated program failed (%s)\nerr=%v violations=%v diverged=%q\nshrunk repro:\n%s",
+				seed, cfg.Name, sig, res.Err, res.Violations, res.Diverged,
+				ReproText(shrunk, cfg, sig))
+		}
+	})
+}

@@ -40,18 +40,26 @@ func (o Options) withDefaults() Options {
 // two- and three-thread test and keeps per-run construction cheap.
 const litmusCores = 4
 
-// litmusHierarchy builds the small, fresh hierarchy one schedule runs
-// on. Caches are scaled down (4 KB L1, 32 KB L2) — litmus footprints
-// are a handful of lines, and small caches keep per-run allocation off
-// the exploration's critical path.
-func litmusHierarchy(cfg Config) *core.Hierarchy {
-	m := topo.NewCustom(1, litmusCores, 0, topo.DefaultParams())
+// NewHierarchy builds the small, fresh hierarchy one litmus-scale run
+// executes on: blocks×coresPerBlock cores with scaled-down caches (4 KB
+// L1, 32 KB L2) — litmus footprints are a handful of lines, and small
+// caches keep per-run allocation off the exploration's critical path.
+// The explorer uses the single-block litmus machine; the fuzz harness
+// (internal/fuzzgen) also builds multi-block machines for its tri-engine
+// differential runs.
+func NewHierarchy(cfg Config, blocks, coresPerBlock int) *core.Hierarchy {
+	m := topo.NewCustom(blocks, coresPerBlock, 0, topo.DefaultParams())
 	return core.New(m, core.Config{
 		L1:         cache.Config{Bytes: 4 << 10, Ways: 4},
 		L2:         cache.Config{Bytes: 32 << 10, Ways: 8},
 		MEBEntries: cfg.MEBEntries,
 		IEBEntries: cfg.IEBEntries,
 	})
+}
+
+// litmusHierarchy builds the explorer's machine.
+func litmusHierarchy(cfg Config) *core.Hierarchy {
+	return NewHierarchy(cfg, 1, litmusCores)
 }
 
 // run status values.
@@ -156,6 +164,9 @@ func Explore(t Test, cfg Config, opts Options) (*Report, error) {
 	if len(t.Threads) > litmusCores {
 		return nil, fmt.Errorf("litmus %s: %d threads exceed the %d-core litmus machine", t.Name, len(t.Threads), litmusCores)
 	}
+	if t.Packed {
+		return nil, fmt.Errorf("litmus %s: packed variable layout voids the independence pruning; exploration is unsupported", t.Name)
+	}
 	opts = opts.withDefaults()
 	rep := &Report{Test: t.Name, Config: cfg.Name, Outcomes: map[string]*OutcomeInfo{}}
 
@@ -203,7 +214,7 @@ func runOne(t Test, cfg Config, prefix []int, budget int, rep *Report) *replayer
 	for i := range regs {
 		regs[i] = UnsetReg
 	}
-	e := engine.New(h, guests(t, cfg, regs))
+	e := engine.New(h, Guests(t, cfg, regs))
 	o := oracle.New(len(t.Threads))
 	e.SetObserver(o)
 	r := &replayer{prefix: prefix, budget: budget, pruned: &rep.Pruned}
@@ -245,7 +256,7 @@ func runOne(t Test, cfg Config, prefix []int, budget int, rep *Report) *replayer
 
 	out := Outcome{Regs: append([]mem.Word(nil), regs...), Mem: make([]mem.Word, len(t.Final))}
 	for i, v := range t.Final {
-		out.Mem[i] = h.Memory().ReadWord(varAddr(v))
+		out.Mem[i] = h.Memory().ReadWord(t.AddrOf(v))
 	}
 	key := out.Key()
 	info := rep.Outcomes[key]

@@ -86,6 +86,12 @@ const (
 	INotifyFlag
 	IAwaitFlag
 	IBarrierSync
+
+	// IDMA is a DMA copy of variable Src's word to variable Var,
+	// depositing the line into block Peer's L2 (core/dma.go). The source
+	// must already be published — DMA reads the shared levels, not the
+	// initiator's L1 — so tests pair it with a preceding IWB.
+	IDMA
 )
 
 var instrNames = [...]string{
@@ -93,6 +99,7 @@ var instrNames = [...]string{
 	"wb", "inv", "publish", "invalidate", "spin",
 	"acquire", "release", "flagset", "flagwait",
 	"csenter", "csexit", "notifyflag", "awaitflag", "barriersync",
+	"dma",
 }
 
 func (k InstrKind) String() string {
@@ -106,12 +113,13 @@ func (k InstrKind) String() string {
 // meaningful.
 type Instr struct {
 	Kind InstrKind
-	Var  VarID    // load/store/WB/INV/publish/spin target
+	Var  VarID    // load/store/WB/INV/publish/spin target; IDMA destination
 	Val  mem.Word // store value, spin target value, flag value, compute cycles
 	Dst  Reg      // destination register (ILoad, ISpin)
 	ID   int      // lock/flag/barrier identifier
 	N    int      // spin probe bound (ISpin)
-	Peer int      // peer thread for the level-adaptive publication forms
+	Peer int      // peer thread (level-adaptive forms) or target block (IDMA)
+	Src  VarID    // IDMA source variable
 }
 
 // Convenience constructors keep test tables readable.
@@ -121,6 +129,9 @@ func Load(v VarID, dst Reg) Instr { return Instr{Kind: ILoad, Var: v, Dst: dst} 
 
 // Store writes val to v.
 func Store(v VarID, val mem.Word) Instr { return Instr{Kind: IStore, Var: v, Val: val} }
+
+// Compute burns cycles of local work.
+func Compute(cycles mem.Word) Instr { return Instr{Kind: ICompute, Val: cycles} }
 
 // WB and INV are the raw, config-invariant per-variable forms.
 func WB(v VarID) Instr  { return Instr{Kind: IWB, Var: v} }
@@ -155,6 +166,11 @@ func AwaitFlag(id int, v mem.Word) Instr {
 	return Instr{Kind: IAwaitFlag, ID: id, Val: v}
 }
 func BarrierSync(id int) Instr { return Instr{Kind: IBarrierSync, ID: id} }
+
+// DMA copies src's word to dst, depositing into block toBlock's L2.
+func DMA(dst, src VarID, toBlock int) Instr {
+	return Instr{Kind: IDMA, Var: dst, Src: src, Peer: toBlock}
+}
 
 // Expectation declares what the exhaustive exploration must find.
 type Expectation int
@@ -241,6 +257,12 @@ type Test struct {
 	// OCC sets the annotation pattern's outside-critical-section
 	// communication bit for the annotated sync forms.
 	OCC bool
+	// Packed lays consecutive variables out word-by-word on shared cache
+	// lines (false sharing) instead of one line per variable. Packed
+	// tests exercise line-granular WB/INV interactions but void the
+	// explorer's independence-pruning precondition, so Explore rejects
+	// them; the fuzz harness runs them on fixed schedules instead.
+	Packed bool
 }
 
 // Validate checks the test's internal consistency.
@@ -281,6 +303,21 @@ func (t Test) Validate() error {
 			if in.Kind == ISpin && in.N < 1 {
 				return fmt.Errorf("litmus %s: thread %d instr %d: spin with N=%d", t.Name, ti, ii, in.N)
 			}
+			if in.Kind == IDMA {
+				if in.Src < 0 || int(in.Src) >= t.Vars {
+					return fmt.Errorf("litmus %s: thread %d instr %d (dma) reads var %d of %d",
+						t.Name, ti, ii, in.Src, t.Vars)
+				}
+				if in.Peer < 0 {
+					return fmt.Errorf("litmus %s: thread %d instr %d: dma to block %d", t.Name, ti, ii, in.Peer)
+				}
+				if t.Packed {
+					// The DMA engine works in whole lines; under the packed
+					// layout a variable's line is shared, so a transfer would
+					// clobber its neighbors.
+					return fmt.Errorf("litmus %s: thread %d instr %d: dma in a packed test", t.Name, ti, ii)
+				}
+			}
 		}
 	}
 	for _, v := range t.Final {
@@ -293,7 +330,7 @@ func (t Test) Validate() error {
 
 var varKinds = map[InstrKind]bool{
 	ILoad: true, IStore: true, IWB: true, IINV: true,
-	IPublish: true, IInvalidate: true, ISpin: true,
+	IPublish: true, IInvalidate: true, ISpin: true, IDMA: true,
 }
 
 var regKinds = map[InstrKind]bool{ILoad: true, ISpin: true}
@@ -345,15 +382,22 @@ var (
 	Base     = Config{Name: "Base", Ann: annotate.Base}
 	BMI      = Config{Name: "B+M+I", Ann: annotate.BMI, MEBEntries: 16, IEBEntries: 4}
 	Adaptive = Config{Name: "Adaptive", Ann: annotate.Base, Adaptive: true}
+	// BM and BI are the intermediate Table II points (one entry buffer
+	// each). The standard litmus matrix skips them — B+M+I subsumes both
+	// buffers' interleaving surface — but the fuzz campaign
+	// (internal/fuzzgen) runs all four incoherent configurations so an
+	// annotation weakening is judged under every buffer combination.
+	BM = Config{Name: "B+M", Ann: annotate.BM, MEBEntries: 16}
+	BI = Config{Name: "B+I", Ann: annotate.BI, IEBEntries: 4}
 )
 
 // Configs is the standard configuration matrix.
 var Configs = []Config{Base, BMI, Adaptive}
 
 // ConfigByName resolves a configuration label (as printed by cmd/litmus
-// -config) to its Config.
+// -config) to its Config, the fuzz-only BM/BI configurations included.
 func ConfigByName(name string) (Config, bool) {
-	for _, c := range Configs {
+	for _, c := range append(append([]Config{}, Configs...), BM, BI) {
 		if c.Name == name {
 			return c, true
 		}

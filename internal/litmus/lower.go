@@ -12,25 +12,60 @@ import (
 // one full cache line so distinct variables never share a line (a
 // precondition of the explorer's independence pruning) and sequential
 // lines land in sequential sets (so tiny tests never conflict-miss).
+// Packed tests instead lay variables out word-by-word from the same
+// base, deliberately sharing lines.
 const varBase = mem.Addr(0x10000)
 
-// varAddr returns the address of variable v.
-func varAddr(v VarID) mem.Addr { return varBase + mem.Addr(v)*mem.LineBytes }
+// AddrOf returns the address of variable v under the test's layout.
+func (t Test) AddrOf(v VarID) mem.Addr {
+	if t.Packed {
+		return varBase + mem.Addr(v)*mem.WordBytes
+	}
+	return varBase + mem.Addr(v)*mem.LineBytes
+}
 
-// varRange returns the one-word range of variable v.
-func varRange(v VarID) mem.Range { return mem.WordRange(varAddr(v), 1) }
+// VarOfAddr is the inverse of AddrOf: the variable whose word address is
+// a, if any. Violation addresses are word-granular, so the mapping is
+// exact under both layouts.
+func (t Test) VarOfAddr(a mem.Addr) (VarID, bool) {
+	if a < varBase {
+		return 0, false
+	}
+	off := a - varBase
+	step := mem.Addr(mem.LineBytes)
+	if t.Packed {
+		step = mem.WordBytes
+	}
+	if off%step != 0 {
+		return 0, false
+	}
+	v := VarID(off / step)
+	if int(v) >= t.Vars {
+		return 0, false
+	}
+	return v, true
+}
 
-// guests lowers the test's threads to engine guests under cfg. The regs
+// rangeOf returns the one-word range of variable v.
+func (t Test) rangeOf(v VarID) mem.Range { return mem.WordRange(t.AddrOf(v), 1) }
+
+// lineOf returns the full cache line of variable v: the DMA engine works
+// in whole lines, so IDMA transfers the variable's entire (private) line.
+func (t Test) lineOf(v VarID) mem.Range {
+	return mem.Range{Base: mem.LineAddr(t.AddrOf(v)), Bytes: mem.LineBytes}
+}
+
+// Guests lowers the test's threads to engine guests under cfg. The regs
 // slice receives observation-register writes; guest execution is
 // serialized by the engine's rendezvous protocol, so sharing it is safe.
-func guests(t Test, cfg Config, regs []mem.Word) []engine.Guest {
+func Guests(t Test, cfg Config, regs []mem.Word) []engine.Guest {
 	gs := make([]engine.Guest, len(t.Threads))
 	for i, instrs := range t.Threads {
 		instrs := instrs
 		gs[i] = func(ep engine.Proc) {
 			p := annotate.Wrap(ep, cfg.Ann, annotate.Pattern{OCC: t.OCC})
 			for _, in := range instrs {
-				exec(p, cfg, in, regs)
+				exec(p, t, cfg, in, regs)
 			}
 		}
 	}
@@ -38,9 +73,9 @@ func guests(t Test, cfg Config, regs []mem.Word) []engine.Guest {
 }
 
 // exec runs one litmus instruction on thread p.
-func exec(p *annotate.P, cfg Config, in Instr, regs []mem.Word) {
-	a := varAddr(in.Var)
-	r := varRange(in.Var)
+func exec(p *annotate.P, t Test, cfg Config, in Instr, regs []mem.Word) {
+	a := t.AddrOf(in.Var)
+	r := t.rangeOf(in.Var)
 	switch in.Kind {
 	case ILoad:
 		regs[in.Dst] = p.Load(a)
@@ -97,6 +132,8 @@ func exec(p *annotate.P, cfg Config, in Instr, regs []mem.Word) {
 		p.AwaitFlag(in.ID, int64(in.Val))
 	case IBarrierSync:
 		p.BarrierSync(in.ID)
+	case IDMA:
+		p.DMACopy(a, t.lineOf(in.Src), in.Peer)
 	default:
 		panic(fmt.Sprintf("litmus: unknown instruction kind %v", in.Kind))
 	}

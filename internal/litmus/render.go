@@ -1,0 +1,140 @@
+package litmus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render writes the test as a Go composite literal in this package's
+// constructor DSL — the form the suite table is written in — so a
+// program found by the fuzzer can be committed verbatim as a permanent
+// regression test. The output is stable: identical tests render to
+// identical bytes.
+func Render(t Test) string {
+	var b strings.Builder
+	b.WriteString("{\n")
+	fmt.Fprintf(&b, "\tName: %q,\n", t.Name)
+	if t.Doc != "" {
+		fmt.Fprintf(&b, "\tDoc:  %q,\n", t.Doc)
+	}
+	fmt.Fprintf(&b, "\tVars: %d, Regs: %d,\n", t.Vars, t.Regs)
+	b.WriteString("\tThreads: [][]Instr{\n")
+	for _, th := range t.Threads {
+		b.WriteString("\t\t{")
+		for i, in := range th {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(renderInstr(in))
+		}
+		b.WriteString("},\n")
+	}
+	b.WriteString("\t},\n")
+	if len(t.Final) > 0 {
+		parts := make([]string, len(t.Final))
+		for i, v := range t.Final {
+			parts[i] = fmt.Sprintf("%d", v)
+		}
+		fmt.Fprintf(&b, "\tFinal: []VarID{%s},\n", strings.Join(parts, ", "))
+	}
+	if len(t.Allowed) > 0 {
+		fmt.Fprintf(&b, "\tAllowed: []Outcome{%s},\n", renderOutcomes(t.Allowed))
+	}
+	if len(t.Requires) > 0 {
+		fmt.Fprintf(&b, "\tRequires: []Outcome{%s},\n", renderOutcomes(t.Requires))
+	}
+	if t.Expect != ExpectNone {
+		fmt.Fprintf(&b, "\tExpect: %s,\n", expectIdents[t.Expect])
+	}
+	if t.OCC {
+		b.WriteString("\tOCC: true,\n")
+	}
+	if t.Packed {
+		b.WriteString("\tPacked: true,\n")
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+var expectIdents = [...]string{
+	"ExpectNone", "ExpectMissingWB", "ExpectMissingINV", "ExpectLostUpdate", "ExpectForbidden",
+}
+
+func renderInstr(in Instr) string {
+	switch in.Kind {
+	case ILoad:
+		return fmt.Sprintf("Load(%d, %d)", in.Var, in.Dst)
+	case IStore:
+		return fmt.Sprintf("Store(%d, %d)", in.Var, in.Val)
+	case ICompute:
+		return fmt.Sprintf("Compute(%d)", in.Val)
+	case IWB:
+		return fmt.Sprintf("WB(%d)", in.Var)
+	case IINV:
+		return fmt.Sprintf("INV(%d)", in.Var)
+	case IPublish:
+		return fmt.Sprintf("Publish(%d, %d)", in.Var, in.Peer)
+	case IInvalidate:
+		return fmt.Sprintf("Invalidate(%d, %d)", in.Var, in.Peer)
+	case ISpin:
+		return fmt.Sprintf("Spin(%d, %d, %d, %d)", in.Var, in.Val, in.N, in.Dst)
+	case IAcquire:
+		return fmt.Sprintf("Acquire(%d)", in.ID)
+	case IRelease:
+		return fmt.Sprintf("Release(%d)", in.ID)
+	case IFlagSet:
+		return fmt.Sprintf("FlagSet(%d, %d)", in.ID, in.Val)
+	case IFlagWait:
+		return fmt.Sprintf("FlagWait(%d, %d)", in.ID, in.Val)
+	case ICSEnter:
+		return fmt.Sprintf("CSEnter(%d)", in.ID)
+	case ICSExit:
+		return fmt.Sprintf("CSExit(%d)", in.ID)
+	case INotifyFlag:
+		return fmt.Sprintf("NotifyFlag(%d, %d)", in.ID, in.Val)
+	case IAwaitFlag:
+		return fmt.Sprintf("AwaitFlag(%d, %d)", in.ID, in.Val)
+	case IBarrierSync:
+		return fmt.Sprintf("BarrierSync(%d)", in.ID)
+	case IDMA:
+		return fmt.Sprintf("DMA(%d, %d, %d)", in.Var, in.Src, in.Peer)
+	}
+	return fmt.Sprintf("Instr{Kind: %d}", in.Kind)
+}
+
+func renderOutcomes(outs []Outcome) string {
+	var b strings.Builder
+	for _, o := range outs {
+		b.WriteString("\n\t\t{")
+		if len(o.Regs) > 0 {
+			b.WriteString("Regs: []mem.Word{")
+			for i, v := range o.Regs {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				if v == UnsetReg {
+					b.WriteString("UnsetReg")
+				} else {
+					fmt.Fprintf(&b, "%d", v)
+				}
+			}
+			b.WriteString("}")
+		}
+		if len(o.Mem) > 0 {
+			if len(o.Regs) > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("Mem: []mem.Word{")
+			for i, v := range o.Mem {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%d", v)
+			}
+			b.WriteString("}")
+		}
+		b.WriteString("},")
+	}
+	b.WriteString("\n\t")
+	return b.String()
+}

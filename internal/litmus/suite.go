@@ -235,6 +235,67 @@ var Suite = []Test{
 		Requires: []Outcome{regsOut(9, 1), regsOut(0, 0)},
 		Expect:   ExpectNone,
 	},
+	// The three tests below were harvested from the fuzz campaign
+	// (internal/fuzzgen): each is a mutated random program that the
+	// oracle detected, automatically shrunk to a minimal repro by the
+	// campaign's delta-debugger and promoted verbatim (names keep the
+	// generating seed and mutation class).
+	{
+		Name: "fuzz-csexit-nowb",
+		Doc: "Fuzz harvest (seed 3, weaken-csexit): a critical-section writer whose " +
+			"CSExit was weakened to a raw lock release, dropping the exit writeback. On " +
+			"schedules where the reader's critical section runs second, its locked read " +
+			"sees stale zero (missing-wb); the store only reaches memory at the final drain. " +
+			"(The shrunk repro's reader kept its lock held to the end; the promoted form " +
+			"closes the reader's section so every interleaving terminates.)",
+		Vars: 1, Regs: 1,
+		Threads: [][]Instr{
+			{CSEnter(0), Store(vX, 1), Release(0)},
+			{CSEnter(0), Load(vX, 0), CSExit(0)},
+		},
+		Final:    []VarID{vX},
+		Allowed:  []Outcome{{Regs: []mem.Word{0}, Mem: []mem.Word{1}}},
+		Requires: []Outcome{{Regs: []mem.Word{0}, Mem: []mem.Word{1}}},
+		Expect:   ExpectMissingWB,
+	},
+	{
+		Name: "fuzz-notify-nowb",
+		Doc: "Fuzz harvest (seed 6, weaken-notify): flag publication after a barrier " +
+			"with NotifyFlag weakened to a raw flag set. The barrier's whole-cache writeback " +
+			"predates the store, so the ordered reader always sees stale zero (missing-wb).",
+		Vars: 1, Regs: 1,
+		Threads: [][]Instr{
+			{BarrierSync(0), Store(vX, 1), FlagSet(1, 2)},
+			{BarrierSync(0), AwaitFlag(1, 2), Load(vX, 0)},
+		},
+		Final:    []VarID{vX},
+		Allowed:  []Outcome{{Regs: []mem.Word{0}, Mem: []mem.Word{1}}},
+		Requires: []Outcome{{Regs: []mem.Word{0}, Mem: []mem.Word{1}}},
+		Expect:   ExpectMissingWB,
+	},
+	{
+		Name: "fuzz-await-noinv",
+		Doc: "Fuzz harvest (seed 18, weaken-await): message passing after a barrier " +
+			"with AwaitFlag weakened to a raw flag wait, dropping the reader's invalidation. " +
+			"A post-barrier prelude load caches stale zero; schedules where it beat the " +
+			"publication leave the post-wait load on that stale line (missing-inv). r1 is " +
+			"the post-wait value, r0 the prelude.",
+		Vars: 1, Regs: 2,
+		Threads: [][]Instr{
+			{BarrierSync(0), Store(vX, 1), NotifyFlag(1, 2)},
+			{BarrierSync(0), Load(vX, 0), FlagWait(1, 2), Load(vX, 1)},
+		},
+		Final: []VarID{vX},
+		Allowed: []Outcome{
+			{Regs: []mem.Word{0, 0}, Mem: []mem.Word{1}},
+			{Regs: []mem.Word{1, 1}, Mem: []mem.Word{1}},
+		},
+		Requires: []Outcome{
+			{Regs: []mem.Word{0, 0}, Mem: []mem.Word{1}},
+			{Regs: []mem.Word{1, 1}, Mem: []mem.Word{1}},
+		},
+		Expect: ExpectMissingINV,
+	},
 	{
 		Name: "race-nowb-payload",
 		Doc: "Figure 6b with the payload writeback dropped: the flag is published but " +

@@ -238,10 +238,12 @@ func (o *Oracle) OnEvent(ev engine.Event) {
 			o.wbRange(ev)
 		case isa.OpWBAll, isa.OpWBConsAll:
 			o.wbAll(ev)
-		case isa.OpINV, isa.OpINVAll, isa.OpInvProd, isa.OpInvProdAll, isa.OpINVSig:
-			o.lastINV[ev.Thread] = opAt{op: ev.Op, cycle: ev.Time, valid: true}
 		case isa.OpDMACopy:
 			o.dma(ev)
+		default:
+			if ev.Op.Kind.IsINVFamily() {
+				o.lastINV[ev.Thread] = opAt{op: ev.Op, cycle: ev.Time, valid: true}
+			}
 		}
 	case engine.EvSyncIssue:
 		o.syncIssue(ev)

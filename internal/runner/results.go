@@ -13,6 +13,7 @@ package runner
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 
 	"repro/internal/obs"
@@ -41,6 +42,9 @@ const (
 	KindMetrics = "metrics"
 	// KindStorage is the Section VII-A storage report (cmd/overhead).
 	KindStorage = "storage"
+	// KindFuzz is the annotation-mutation fuzz campaign report
+	// (cmd/hicfuzz).
+	KindFuzz = "fuzz"
 )
 
 // Document is the machine-readable outcome of one or more sweeps.
@@ -107,6 +111,13 @@ type RunRecord struct {
 	// Attempts is emitted only when transient-failure retries reran the
 	// cell (values > 1).
 	Attempts int `json:"attempts,omitempty"`
+	// Repro is the shrunk litmus-DSL reproduction of a fuzz-repro
+	// failure, making the record a self-contained regression test.
+	Repro string `json:"repro,omitempty"`
+	// DegradedToSerial names why a requested block-parallel execution
+	// fell back to the serial engine ("fault-injection", "recorder",
+	// "observer"); empty when sharding engaged or was never requested.
+	DegradedToSerial string `json:"degraded_to_serial,omitempty"`
 	// Metrics is the cell's observability snapshot when the sweep ran
 	// with metrics enabled. It is deterministic (all values are
 	// simulation-derived) and therefore survives canonical encoding.
@@ -149,6 +160,10 @@ func (g *Grid) Records() []RunRecord {
 		if c.Err != nil {
 			rec.Error = c.Err.Error()
 			rec.ErrorKind = ErrorKind(c.Err)
+			var re *ReproError
+			if errors.As(c.Err, &re) {
+				rec.Repro = re.Repro
+			}
 		}
 		if c.Attempts > 1 {
 			rec.Attempts = c.Attempts
@@ -156,6 +171,7 @@ func (g *Grid) Records() []RunRecord {
 		if c.Outcome != nil {
 			rec.GlobalWB, rec.GlobalINV = c.Outcome.GlobalWB, c.Outcome.GlobalINV
 			rec.Metrics = c.Outcome.Metrics
+			rec.DegradedToSerial = c.Outcome.Degraded
 			if r := c.Outcome.Result; r != nil {
 				rec.Cycles = r.Cycles
 				rec.Stalls = make(map[string]int64, int(stats.NumStallKinds))

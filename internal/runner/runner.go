@@ -96,6 +96,11 @@ type Outcome struct {
 	// Trace is the run's stall-span timeline for Chrome-trace export,
 	// when the sweep ran with tracing enabled (nil otherwise).
 	Trace *obs.Trace
+	// Degraded names why a requested block-parallel execution silently
+	// fell back to the serial engine ("fault-injection", "recorder",
+	// "observer"); empty when sharding engaged or was never requested.
+	// It flows into the cell's RunRecord as degraded_to_serial.
+	Degraded string
 }
 
 // Cell is one completed grid entry.
@@ -166,6 +171,28 @@ func (e *NilOutcomeError) Error() string {
 
 // ErrorKind labels the failure for the error taxonomy.
 func (e *NilOutcomeError) ErrorKind() string { return "nil-outcome" }
+
+// ReproError reports a fuzz-campaign failure together with the shrunk
+// program that reproduces it, rendered in the internal/litmus DSL. The
+// repro text flows into the cell's RunRecord, so a failed fuzz cell in a
+// hic-results/v1 or hic/v2 document is a self-contained regression test.
+type ReproError struct {
+	// Workload and Config label the failed fuzz cell.
+	Workload, Config string
+	// Repro is the shrunk program as a litmus-DSL composite literal.
+	Repro string
+	// Err is the underlying campaign failure.
+	Err error
+}
+
+func (e *ReproError) Error() string {
+	return fmt.Sprintf("%s/%s: %v\nshrunk repro:\n%s", e.Workload, e.Config, e.Err, e.Repro)
+}
+
+func (e *ReproError) Unwrap() error { return e.Err }
+
+// ErrorKind labels the failure for the error taxonomy.
+func (e *ReproError) ErrorKind() string { return "fuzz-repro" }
 
 // ErrorKind classifies a cell failure for reporting: the error's own
 // kind when it declares one (panic, timeout, livelock, coherence,

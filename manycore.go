@@ -113,7 +113,7 @@ func manycoreTasks(s Scale, blockCounts []int, coresPerBlock int, opts RunOption
 						opts.finish(name, manycoreConfig(blocks), rec, nil)
 						return nil, err
 					}
-					out := &runner.Outcome{Result: r}
+					out := &runner.Outcome{Result: r, Degraded: opts.degradeReason(h, orc)}
 					opts.finish(name, manycoreConfig(blocks), rec, out)
 					return out, nil
 				},

@@ -99,9 +99,11 @@ func WithOnly(workloads ...string) Option {
 // WithBlockParallel runs each incoherent-hierarchy simulation with the
 // block-parallel engine: cores are partitioned by block and each block's
 // event heap runs on its own goroutine between deterministic sync epochs.
-// Results are byte-identical to serial execution; fault-injected and
-// recorder-attached runs silently degrade to the serial engine (their
-// state is not sharded). HCC cells are unaffected.
+// Results are byte-identical to serial execution; fault-injected,
+// recorder-attached, and oracle-observed runs degrade to the serial
+// engine (their state is not sharded), recording the cause in the run
+// record's degraded_to_serial field and the engine.degraded_to_serial
+// obs counter. HCC cells are unaffected.
 func WithBlockParallel() Option {
 	return func(o *RunOptions) { o.BlockParallel = true }
 }
