@@ -7,7 +7,7 @@
 // Usage:
 //
 //	litmus [-test NAME] [-config NAME] [-budget N] [-max-schedules N] [-json]
-//	       [-schema v1|v2] [-v]
+//	       [-schema v1|v2] [-dpor=BOOL] [-enumerate -k N] [-v]
 //
 // By default every suite test runs under every configuration (Base,
 // B+M+I, Adaptive) and one verdict line is printed per pair; -v adds
@@ -16,6 +16,12 @@
 // fails — an annotated test with a violation, an under-annotated test
 // whose bug no schedule exposed (or exposed with the wrong
 // attribution), or a non-exhaustive exploration.
+//
+// Exploration uses dynamic partial-order reduction; -dpor=false selects
+// the exhaustive adjacent-swap explorer (same outcome sets, more
+// schedules). -enumerate replaces the curated suite with the systematic
+// enumeration of every litmus shape up to -k ops and fails unless every
+// annotated program explores violation-free to exhaustion.
 //
 // With -json a single machine-readable document (schema hic/v2, kind
 // "litmus"; -schema v1 selects the legacy hic-litmus/v1 layout) is
@@ -47,18 +53,27 @@ type Result struct {
 
 // Document is the -json output: the whole run, in suite-then-config
 // order. The default envelope is hic/v2 with kind "litmus"; -schema v1
-// emits SchemaVersion with no kind.
+// emits SchemaVersion with no kind. Exactly one of Results (suite mode)
+// and Sweeps (-enumerate) is populated.
 type Document struct {
 	Schema  string   `json:"schema"`
 	Kind    string   `json:"kind,omitempty"`
 	Budget  int      `json:"budget"`
-	Results []Result `json:"results"`
+	Results []Result `json:"results,omitempty"`
+	Sweeps  []Sweep  `json:"sweeps,omitempty"`
+}
+
+// Sweep is one -enumerate sweep under one configuration.
+type Sweep struct {
+	Config string            `json:"config"`
+	K      int               `json:"k"`
+	Stats  litmus.SweepStats `json:"stats"`
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("litmus: ")
-	f := cli.Register(flag.CommandLine, cli.JSONFlags)
+	f := cli.Register(flag.CommandLine, cli.JSONFlags|cli.FlagExplore)
 	testName := flag.String("test", "", "run only the named suite test")
 	cfgName := flag.String("config", "", "run only the named configuration (Base, B+M+I, Adaptive)")
 	budget := flag.Int("budget", 0, "per-schedule step budget (0 = default)")
@@ -86,11 +101,37 @@ func main() {
 		configs = []litmus.Config{c}
 	}
 	opts := litmus.Options{Budget: *budget, MaxSchedules: *maxSched}
+	if !f.DPOR {
+		opts.Algo = litmus.AlgoSwap
+	}
 
 	doc := Document{Schema: runner.SchemaV2, Kind: runner.KindLitmus, Budget: opts.Budget}
 	if f.SchemaV1() {
 		doc.Schema, doc.Kind = SchemaVersion, ""
 	}
+	failed := false
+	if f.Enumerate {
+		failed = enumerate(f, configs, opts, &doc, *verbose)
+	} else {
+		failed = runSuite(f, tests, configs, opts, &doc, *verbose)
+	}
+
+	if f.JSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runSuite explores every selected suite test under every selected
+// configuration, printing verdicts in text mode, and reports whether
+// any verdict failed.
+func runSuite(f *cli.Flags, tests []litmus.Test, configs []litmus.Config, opts litmus.Options, doc *Document, verbose bool) bool {
 	failed := false
 	for _, t := range tests {
 		for _, cfg := range configs {
@@ -104,7 +145,7 @@ func main() {
 			}
 			if !f.JSON {
 				fmt.Println(v)
-				if *verbose {
+				if verbose {
 					fmt.Printf("  %d schedules, %d pruned, %d dead ends, %d violation schedule(s)\n",
 						rep.Schedules, rep.Pruned, rep.DeadEnds, rep.ViolationSchedules)
 					for _, o := range rep.SortedOutcomes() {
@@ -118,17 +159,42 @@ func main() {
 			}
 		}
 	}
+	return failed
+}
 
-	if f.JSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
-			log.Fatal(err)
+// enumerate runs the -enumerate sweep: every litmus shape up to -k ops
+// under every selected configuration. The sweep fails if any annotated
+// program violates or any exploration is not exhaustive.
+func enumerate(f *cli.Flags, configs []litmus.Config, opts litmus.Options, doc *Document, verbose bool) bool {
+	failed := false
+	eo := litmus.EnumOptions{MaxOps: f.K, MaxThreads: 3, DMA: true, Packed: true, Locks: 1, Barriers: true}
+	for _, cfg := range configs {
+		st := Sweep{Config: cfg.Name, K: f.K, Stats: litmus.Sweep(eo, cfg, opts)}
+		doc.Sweeps = append(doc.Sweeps, st)
+		ok := len(st.Stats.Violating) == 0 && len(st.Stats.Failed) == 0
+		if !ok {
+			failed = true
+		}
+		if !f.JSON {
+			status := "PASS"
+			if !ok {
+				status = "FAIL"
+			}
+			fmt.Printf("%s enumerate k=%d config=%s: %d programs, %d mutants\n",
+				status, f.K, cfg.Name, st.Stats.Programs, st.Stats.Mutants)
+			if verbose || !ok {
+				fmt.Printf("  runs=%d schedules=%d dedup_cuts=%d states=%d\n",
+					st.Stats.Runs, st.Stats.Schedules, st.Stats.DedupCuts, st.Stats.StatesSeen)
+				for _, name := range st.Stats.Violating {
+					fmt.Printf("  violating: %s\n", name)
+				}
+				for _, name := range st.Stats.Failed {
+					fmt.Printf("  not exhaustive: %s\n", name)
+				}
+			}
 		}
 	}
-	if failed {
-		os.Exit(1)
-	}
+	return failed
 }
 
 func suiteNames() string {

@@ -61,6 +61,9 @@ const (
 	// FlagTopo is -blocks, -cores-per-block, and -block-parallel (custom
 	// machine topology and the block-parallel engine).
 	FlagTopo
+	// FlagExplore is -enumerate, -k, and -dpor (systematic litmus
+	// enumeration and explorer selection).
+	FlagExplore
 
 	// SweepFlags is the full sweep-command set (hicsim).
 	SweepFlags = FlagScale | FlagParallel | FlagTimeout | FlagJSON | FlagTiming |
@@ -116,13 +119,21 @@ type Flags struct {
 	CoresPerBlock int
 	// BlockParallel runs each simulation on the block-parallel engine.
 	BlockParallel bool
+	// Enumerate sweeps the systematic litmus enumeration instead of the
+	// curated suite.
+	Enumerate bool
+	// K is the enumeration op budget per program (with -enumerate).
+	K int
+	// DPOR selects the partial-order-reduction explorer (the default);
+	// false falls back to the exhaustive adjacent-swap explorer.
+	DPOR bool
 }
 
 // Register installs the shared flags selected by mask on fs and returns
 // the destination Flags. Call it before registering command-specific
 // extras so the shared spellings stay first in -help output.
 func Register(fs *flag.FlagSet, mask Mask) *Flags {
-	f := &Flags{mask: mask, Scale: "bench", Parallel: runtime.GOMAXPROCS(0), Schema: "v2"}
+	f := &Flags{mask: mask, Scale: "bench", Parallel: runtime.GOMAXPROCS(0), Schema: "v2", K: 4, DPOR: true}
 	if mask&FlagScale != 0 {
 		fs.StringVar(&f.Scale, "scale", f.Scale, "problem scale: test or bench")
 	}
@@ -163,6 +174,11 @@ func Register(fs *flag.FlagSet, mask Mask) *Flags {
 		fs.IntVar(&f.CoresPerBlock, "cores-per-block", hic.DefaultManycoreCoresPerBlock, "cores per block of the many-core machines")
 		fs.BoolVar(&f.BlockParallel, "block-parallel", false, "run each simulation on the block-parallel engine (one goroutine per block; results are byte-identical)")
 	}
+	if mask&FlagExplore != 0 {
+		fs.BoolVar(&f.Enumerate, "enumerate", false, "sweep every litmus shape up to -k ops instead of the curated suite")
+		fs.IntVar(&f.K, "k", f.K, "op budget per enumerated program (with -enumerate)")
+		fs.BoolVar(&f.DPOR, "dpor", f.DPOR, "explore with dynamic partial-order reduction; -dpor=false uses the exhaustive adjacent-swap explorer")
+	}
 	return f
 }
 
@@ -191,6 +207,9 @@ func (f *Flags) Validate() error {
 	}
 	if f.Blocks > 0 && f.CoresPerBlock < 1 {
 		return fmt.Errorf("-cores-per-block %d: want at least 1", f.CoresPerBlock)
+	}
+	if f.K < 1 {
+		return fmt.Errorf("-k %d: want an op budget of at least 1", f.K)
 	}
 	return nil
 }

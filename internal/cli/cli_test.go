@@ -32,7 +32,7 @@ var masks = map[string]Mask{
 	"hicsim":     SweepFlags,
 	"intrablock": FigureFlags,
 	"interblock": FigureFlags,
-	"litmus":     JSONFlags,
+	"litmus":     JSONFlags | FlagExplore,
 	"overhead":   FlagJSON,
 }
 
@@ -49,11 +49,13 @@ var argFor = map[Mask][]string{
 	FlagFaults:    {"-faults", "drop-wb@0"},
 	FlagObs:       {"-metrics", "-trace-chrome", "out.json"},
 	FlagProfile:   {"-cpuprofile", "cpu.out", "-memprofile", "mem.out"},
+	FlagExplore:   {"-enumerate", "-k", "3", "-dpor=false"},
 }
 
 func TestEveryCommandMaskRoundTrips(t *testing.T) {
 	all := []Mask{FlagScale, FlagParallel, FlagTimeout, FlagJSON, FlagTiming,
-		FlagSchema, FlagCheck, FlagCoherence, FlagFaults, FlagObs, FlagProfile}
+		FlagSchema, FlagCheck, FlagCoherence, FlagFaults, FlagObs, FlagProfile,
+		FlagExplore}
 	for name, mask := range masks {
 		t.Run(name, func(t *testing.T) {
 			var args []string
@@ -97,6 +99,9 @@ func TestEveryCommandMaskRoundTrips(t *testing.T) {
 			}
 			if mask&FlagProfile != 0 && (f.CPUProfile != "cpu.out" || f.MemProfile != "mem.out") {
 				t.Errorf("profiles = %q/%q", f.CPUProfile, f.MemProfile)
+			}
+			if mask&FlagExplore != 0 && (!f.Enumerate || f.K != 3 || f.DPOR) {
+				t.Errorf("enumerate/k/dpor = %v/%d/%v, want true/3/false", f.Enumerate, f.K, f.DPOR)
 			}
 			if err := f.Validate(); err != nil {
 				t.Errorf("Validate: %v", err)
@@ -145,6 +150,13 @@ func TestValidateRejectsUnknownSchema(t *testing.T) {
 	f := parse(t, JSONFlags, "-schema", "v3")
 	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "v3") {
 		t.Errorf("Validate = %v, want unknown-schema error", err)
+	}
+}
+
+func TestValidateRejectsBadOpBudget(t *testing.T) {
+	f := parse(t, JSONFlags|FlagExplore, "-k", "0")
+	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "-k") {
+		t.Errorf("Validate = %v, want op-budget error", err)
 	}
 }
 

@@ -264,12 +264,17 @@ type thread struct {
 	stalls  stats.Stalls
 	pipe    opPipe
 	loadVal mem.Word // pending load result, read by the guest on resume
-	next    isa.Op   // pending op, valid when state == ready (synchronous mode)
-	cur     isa.Op   // blocking sync op, valid while state == blocked
-	state   tstate
-	blockAt int64           // time the blocking request was issued
-	blockAs stats.StallKind // category charged for the wait
-	err     error
+	// histHash is a rolling hash of every value delivered to the guest
+	// in synchronous mode, maintained by reply. Together with the
+	// pending op it pins the guest's continuation state for
+	// StateFingerprint (see fingerprint.go).
+	histHash uint64
+	next     isa.Op // pending op, valid when state == ready (synchronous mode)
+	cur      isa.Op // blocking sync op, valid while state == blocked
+	state    tstate
+	blockAt  int64           // time the blocking request was issued
+	blockAs  stats.StallKind // category charged for the wait
+	err      error
 	// pipelined mirrors Engine.pipelined for the guest-side do(); set
 	// before the guest coroutine starts.
 	pipelined bool
@@ -829,6 +834,9 @@ func (e *Engine) wake(g hwsync.Grant) {
 // (synchronous protocol only).
 func (e *Engine) reply(t *thread, val mem.Word) {
 	t.loadVal = val
+	// The |1 bit makes every delivery change the hash (FNV-64a fixes 0
+	// at 0), so the hash also counts how many ops have completed.
+	t.histHash = mem.Mix64(t.histHash, uint64(val)<<1|1)
 	e.recvNext(t)
 }
 

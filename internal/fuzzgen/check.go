@@ -223,6 +223,7 @@ func attribute(p Program, s Site, viol []oracle.Violation) string {
 	var cov map[litmus.VarID]bool
 	if s.Side == SideWB {
 		cov = wbCoverage(p.Test, s)
+		propagateDMA(p.Test, cov)
 	} else {
 		cov = invCoverage(p.Test, s)
 	}
@@ -331,6 +332,28 @@ func republished(t litmus.Test, s Site, cov map[litmus.VarID]bool) bool {
 	// Thread ends with pending publications and no further release: only
 	// racy accesses could observe them, which is not a proof.
 	return len(pending) == 0
+}
+
+// propagateDMA extends a wb-side coverage set through DMA copies: a DMA
+// whose source is covered reads the stale shared copy the dropped
+// write-back left behind and plants it at the destination, so the
+// destination (and its packed line mates) inherits the coverage.
+// Iterated to a fixpoint to follow copy chains; like wbCoverage's
+// IPublish handling this only enlarges the set, a sound superset.
+func propagateDMA(t litmus.Test, cov map[litmus.VarID]bool) {
+	for changed := true; changed; {
+		changed = false
+		for _, th := range t.Threads {
+			for _, in := range th {
+				if in.Kind != litmus.IDMA || !cov[in.Src] || cov[in.Var] {
+					continue
+				}
+				cov[in.Var] = true
+				addLineMates(t, in.Var, cov)
+				changed = true
+			}
+		}
+	}
 }
 
 // covLine returns v's packed-layout line mates (empty when unpacked).

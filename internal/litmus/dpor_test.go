@@ -1,0 +1,252 @@
+package litmus
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// allConfigs is the full configuration matrix the equivalence gate runs:
+// the standard three plus the fuzz-only single-buffer points.
+var allConfigs = []Config{Base, BMI, Adaptive, BM, BI}
+
+// goldenSchedules pins, for every suite test under every configuration,
+// the number of complete schedules each explorer needs. The DPOR count
+// must stay at or below the adjacent-swap count (it explores the same
+// outcome space with a finer dependence relation plus state dedup); a
+// drift in either column means the explorer's pruning changed and must
+// be re-derived deliberately.
+var goldenSchedules = []struct {
+	Test   string
+	Config string
+	DPOR   int
+	Swap   int
+}{
+	{"mp-annotated", "Base", 2, 4},
+	{"mp-annotated", "B+M+I", 2, 4},
+	{"mp-annotated", "Adaptive", 2, 4},
+	{"mp-annotated", "B+M", 2, 4},
+	{"mp-annotated", "B+I", 2, 4},
+	{"mp-nowb", "Base", 2, 3},
+	{"mp-nowb", "B+M+I", 2, 3},
+	{"mp-nowb", "Adaptive", 2, 3},
+	{"mp-nowb", "B+M", 2, 3},
+	{"mp-nowb", "B+I", 2, 3},
+	{"mp-noinv", "Base", 6, 10},
+	{"mp-noinv", "B+M+I", 6, 10},
+	{"mp-noinv", "Adaptive", 6, 10},
+	{"mp-noinv", "B+M", 6, 10},
+	{"mp-noinv", "B+I", 6, 10},
+	{"sb", "Base", 5, 11},
+	{"sb", "B+M+I", 5, 11},
+	{"sb", "Adaptive", 5, 11},
+	{"sb", "B+M", 5, 11},
+	{"sb", "B+I", 5, 11},
+	{"lb", "Base", 5, 5},
+	{"lb", "B+M+I", 5, 5},
+	{"lb", "Adaptive", 5, 5},
+	{"lb", "B+M", 5, 5},
+	{"lb", "B+I", 5, 5},
+	{"corr", "Base", 5, 15},
+	{"corr", "B+M+I", 5, 15},
+	{"corr", "Adaptive", 5, 15},
+	{"corr", "B+M", 5, 15},
+	{"corr", "B+I", 5, 15},
+	{"coww", "Base", 6, 6},
+	{"coww", "B+M+I", 6, 6},
+	{"coww", "Adaptive", 6, 6},
+	{"coww", "B+M", 6, 6},
+	{"coww", "B+I", 6, 6},
+	{"barrier", "Base", 2, 56},
+	{"barrier", "B+M+I", 2, 56},
+	{"barrier", "Adaptive", 2, 56},
+	{"barrier", "B+M", 2, 56},
+	{"barrier", "B+I", 2, 56},
+	{"lock-annotated", "Base", 4, 36},
+	{"lock-annotated", "B+M+I", 4, 10},
+	{"lock-annotated", "Adaptive", 4, 36},
+	{"lock-annotated", "B+M", 4, 36},
+	{"lock-annotated", "B+I", 4, 10},
+	{"lock-nowb", "Base", 4, 7},
+	{"lock-nowb", "B+M+I", 4, 7},
+	{"lock-nowb", "Adaptive", 4, 7},
+	{"lock-nowb", "B+M", 4, 7},
+	{"lock-nowb", "B+I", 4, 7},
+	{"lock-noinv", "Base", 8, 17},
+	{"lock-noinv", "B+M+I", 8, 17},
+	{"lock-noinv", "Adaptive", 8, 17},
+	{"lock-noinv", "B+M", 8, 17},
+	{"lock-noinv", "B+I", 8, 17},
+	{"lock-lostupdate", "Base", 4, 7},
+	{"lock-lostupdate", "B+M+I", 4, 7},
+	{"lock-lostupdate", "Adaptive", 4, 7},
+	{"lock-lostupdate", "B+M", 4, 7},
+	{"lock-lostupdate", "B+I", 4, 7},
+	{"flag-annotated", "Base", 2, 4},
+	{"flag-annotated", "B+M+I", 2, 4},
+	{"flag-annotated", "Adaptive", 2, 4},
+	{"flag-annotated", "B+M", 2, 4},
+	{"flag-annotated", "B+I", 2, 4},
+	{"flag-nowb", "Base", 2, 3},
+	{"flag-nowb", "B+M+I", 2, 3},
+	{"flag-nowb", "Adaptive", 2, 3},
+	{"flag-nowb", "B+M", 2, 3},
+	{"flag-nowb", "B+I", 2, 3},
+	{"flag-noinv", "Base", 6, 10},
+	{"flag-noinv", "B+M+I", 6, 10},
+	{"flag-noinv", "Adaptive", 6, 10},
+	{"flag-noinv", "B+M", 6, 10},
+	{"flag-noinv", "B+I", 6, 10},
+	{"race-annotated", "Base", 7, 20},
+	{"race-annotated", "B+M+I", 7, 20},
+	{"race-annotated", "Adaptive", 7, 20},
+	{"race-annotated", "B+M", 7, 20},
+	{"race-annotated", "B+I", 7, 20},
+	{"fuzz-csexit-nowb", "Base", 4, 30},
+	{"fuzz-csexit-nowb", "B+M+I", 4, 9},
+	{"fuzz-csexit-nowb", "Adaptive", 4, 30},
+	{"fuzz-csexit-nowb", "B+M", 4, 30},
+	{"fuzz-csexit-nowb", "B+I", 4, 9},
+	{"fuzz-notify-nowb", "Base", 2, 60},
+	{"fuzz-notify-nowb", "B+M+I", 2, 60},
+	{"fuzz-notify-nowb", "Adaptive", 2, 60},
+	{"fuzz-notify-nowb", "B+M", 2, 60},
+	{"fuzz-notify-nowb", "B+I", 2, 60},
+	{"fuzz-await-noinv", "Base", 6, 210},
+	{"fuzz-await-noinv", "B+M+I", 6, 210},
+	{"fuzz-await-noinv", "Adaptive", 6, 210},
+	{"fuzz-await-noinv", "B+M", 6, 210},
+	{"fuzz-await-noinv", "B+I", 6, 210},
+	{"race-nowb-payload", "Base", 6, 17},
+	{"race-nowb-payload", "B+M+I", 6, 17},
+	{"race-nowb-payload", "Adaptive", 6, 17},
+	{"race-nowb-payload", "B+M", 6, 17},
+	{"race-nowb-payload", "B+I", 6, 17},
+}
+
+// outcomeKeys returns the sorted outcome-key set of a report.
+func outcomeKeys(r *Report) []string {
+	keys := make([]string, 0, len(r.Outcomes))
+	for k := range r.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// violationClasses returns the sorted distinct violation classes.
+func violationClasses(r *Report) []string {
+	set := map[string]bool{}
+	for _, v := range r.Violations {
+		set[v.Class] = true
+	}
+	classes := make([]string, 0, len(set))
+	for c := range set {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	return classes
+}
+
+// TestDPORSwapEquivalence is the explorer-replacement regression gate:
+// for every suite test under every configuration, source-DPOR and the
+// legacy adjacent-swap canonicalization must agree on the outcome-key
+// set, the outcomes' allowed bits, the set of violation classes, and
+// whether any schedule violates at all — while DPOR completes in at
+// most as many schedules. Both schedule counts are pinned in
+// goldenSchedules.
+func TestDPORSwapEquivalence(t *testing.T) {
+	golden := map[[2]string][2]int{}
+	for _, g := range goldenSchedules {
+		golden[[2]string{g.Test, g.Config}] = [2]int{g.DPOR, g.Swap}
+	}
+	for _, tc := range Suite {
+		for _, cfg := range allConfigs {
+			d, err := Explore(tc, cfg, Options{Algo: AlgoDPOR})
+			if err != nil {
+				t.Fatalf("%s/%s dpor: %v", tc.Name, cfg.Name, err)
+			}
+			s, err := Explore(tc, cfg, Options{Algo: AlgoSwap})
+			if err != nil {
+				t.Fatalf("%s/%s swap: %v", tc.Name, cfg.Name, err)
+			}
+			if got, want := outcomeKeys(d), outcomeKeys(s); !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: outcome sets differ: dpor %v, swap %v", tc.Name, cfg.Name, got, want)
+			}
+			for k, od := range d.Outcomes {
+				if os, ok := s.Outcomes[k]; ok && od.Allowed != os.Allowed {
+					t.Errorf("%s/%s: outcome %q allowed bit differs", tc.Name, cfg.Name, k)
+				}
+			}
+			if got, want := violationClasses(d), violationClasses(s); !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: violation classes differ: dpor %v, swap %v", tc.Name, cfg.Name, got, want)
+			}
+			if (d.ViolationSchedules > 0) != (s.ViolationSchedules > 0) {
+				t.Errorf("%s/%s: violation presence differs: dpor %d, swap %d",
+					tc.Name, cfg.Name, d.ViolationSchedules, s.ViolationSchedules)
+			}
+			if dv, sv := d.Verdict(tc), s.Verdict(tc); dv.OK != sv.OK {
+				t.Errorf("%s/%s: verdicts differ: dpor %v, swap %v", tc.Name, cfg.Name, dv, sv)
+			}
+			if d.Schedules > s.Schedules {
+				t.Errorf("%s/%s: dpor explored MORE schedules (%d) than swap (%d)",
+					tc.Name, cfg.Name, d.Schedules, s.Schedules)
+			}
+			want, ok := golden[[2]string{tc.Name, cfg.Name}]
+			if !ok {
+				t.Errorf("%s/%s: missing golden entry: {%q, %q, %d, %d}", tc.Name, cfg.Name, tc.Name, cfg.Name, d.Schedules, s.Schedules)
+				continue
+			}
+			if d.Schedules != want[0] || s.Schedules != want[1] {
+				t.Errorf("%s/%s: schedule counts (dpor %d, swap %d) drifted from golden (%d, %d)",
+					tc.Name, cfg.Name, d.Schedules, s.Schedules, want[0], want[1])
+			}
+		}
+	}
+}
+
+// TestDPORStrictWin: on the 4-thread disjoint-pair test, DPOR's refined
+// dependence relation (sync ops independent across primitive IDs) plus
+// state dedup must beat adjacent-swap by a strict margin, not just tie.
+func TestDPORStrictWin(t *testing.T) {
+	tc, ok := SuiteTest("mp-pair-annotated")
+	if !ok {
+		t.Fatal("mp-pair-annotated missing")
+	}
+	for _, cfg := range allConfigs {
+		d, err := Explore(tc, cfg, Options{Algo: AlgoDPOR})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Explore(tc, cfg, Options{Algo: AlgoSwap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Schedules >= s.Schedules {
+			t.Errorf("%s: dpor %d schedules, swap %d: want strictly fewer", cfg.Name, d.Schedules, s.Schedules)
+		}
+		if v := d.Verdict(tc); !v.OK {
+			t.Errorf("%s: %v", cfg.Name, v)
+		}
+	}
+}
+
+// TestExtraSuite runs the extra tests (4-thread pair and the packed
+// variants the explorer used to reject) to a passing verdict under DPOR,
+// and checks the packed fuzz repros still expose their violations.
+func TestExtraSuite(t *testing.T) {
+	for _, tc := range ExtraSuite {
+		for _, cfg := range Configs {
+			v, rep, err := Run(tc, cfg, Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.Name, cfg.Name, err)
+			}
+			if !v.OK {
+				t.Errorf("%s/%s: %v", tc.Name, cfg.Name, v)
+			}
+			if tc.Expect != ExpectNone && rep.ViolationSchedules == 0 {
+				t.Errorf("%s/%s: expected violations, saw none", tc.Name, cfg.Name)
+			}
+		}
+	}
+}

@@ -44,10 +44,14 @@ func ExampleRun() {
 	for _, o := range report.SortedOutcomes() {
 		fmt.Printf("outcome %s: %d schedule(s), allowed=%v\n", o.Key, o.Count, o.Allowed)
 	}
+	// The DPOR explorer proves the flag handoff serializes the threads:
+	// only two schedules (flag observed set / observed unset once) are
+	// inequivalent, where naive interleaving would run dozens.
+	//
 	// Output:
 	// example-mp/Base: ok (expect none)
-	// schedules explored: 4
-	// outcome r0=42: 4 schedule(s), allowed=true
+	// schedules explored: 2
+	// outcome r0=42: 2 schedule(s), allowed=true
 }
 
 // ExampleReport_Verdict shows how an under-annotated test reads its
@@ -78,6 +82,6 @@ func ExampleReport_Verdict() {
 	fmt.Println("attribution:", report.Violations[0].Class)
 	// Output:
 	// ok: true
-	// exposing schedules: 3
+	// exposing schedules: 2
 	// attribution: missing-wb
 }

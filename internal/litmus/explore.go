@@ -14,6 +14,20 @@ import (
 	"repro/internal/topo"
 )
 
+// Exploration algorithms.
+const (
+	// AlgoDPOR is source-DPOR with sleep sets, backtrack sets over the
+	// eviction-sound isa.Deps relation, and state-hash deduplication
+	// (see dpor.go). It is the default: sound for every test, packed
+	// layouts and eviction-bearing schedules included.
+	AlgoDPOR = "dpor"
+	// AlgoSwap is the original adjacent-swap canonicalization, retained
+	// as the reference the DPOR explorer is regression-tested against.
+	// It is only sound for runs without dirty evictions (the verdict
+	// enforces this) and prunes nothing between packed variables.
+	AlgoSwap = "adjacent-swap"
+)
+
 // Options bounds one exploration.
 type Options struct {
 	// Budget is the maximum number of scheduling decisions per schedule;
@@ -21,8 +35,15 @@ type Options struct {
 	// (failing exhaustiveness). Default 256.
 	Budget int
 	// MaxSchedules caps the total number of runs (complete, truncated,
-	// or dead-end); hitting it sets Report.Capped. Default 200000.
+	// dead-end, or dedup-cut); hitting it sets Report.Capped. Default
+	// 200000.
 	MaxSchedules int
+	// Algo selects the exploration algorithm: AlgoDPOR (default) or
+	// AlgoSwap.
+	Algo string
+	// NoDedup disables the DPOR state-hash deduplication, for measuring
+	// its contribution; the exploration is still sound, just larger.
+	NoDedup bool
 }
 
 func (o Options) withDefaults() Options {
@@ -32,12 +53,15 @@ func (o Options) withDefaults() Options {
 	if o.MaxSchedules <= 0 {
 		o.MaxSchedules = 200000
 	}
+	if o.Algo == "" {
+		o.Algo = AlgoDPOR
+	}
 	return o
 }
 
 // litmusCores is the machine size explorations run on: a single block
 // (the intra-block topology, scaled to four cores) is enough for every
-// two- and three-thread test and keeps per-run construction cheap.
+// two- to four-thread test and keeps per-run construction cheap.
 const litmusCores = 4
 
 // NewHierarchy builds the small, fresh hierarchy one litmus-scale run
@@ -68,12 +92,88 @@ const (
 	runDeadEnd
 	runTruncated
 	runError
+	runCut
 )
 
-// replayer is the engine.Scheduler that drives one run: it replays the
-// prefix of candidate-index choices, then extends it with the first
-// candidate the partial-order reduction allows, recording the candidate
-// list at every decision for the driver's backtracking.
+// machine is the fresh hierarchy+engine+oracle one run executes on.
+type machine struct {
+	h    *core.Hierarchy
+	e    *engine.Engine
+	o    *oracle.Oracle
+	regs []mem.Word
+}
+
+func newMachine(t Test, cfg Config) *machine {
+	m := &machine{h: litmusHierarchy(cfg)}
+	m.regs = make([]mem.Word, t.Regs)
+	for i := range m.regs {
+		m.regs[i] = UnsetReg
+	}
+	m.e = engine.New(m.h, Guests(t, cfg, m.regs))
+	m.o = oracle.New(len(t.Threads))
+	m.e.SetObserver(m.o)
+	return m
+}
+
+// finish folds one complete run into the report: it probes stale-read
+// violations before the drain rewrites memory (so the "where" snapshot
+// reflects the machine state the reader saw), drains, checks the final
+// image, and records the outcome and any violations under sched.
+func (m *machine) finish(t Test, rep *Report, sched string) {
+	viol := m.o.Violations()
+	wheres := make([]string, len(viol))
+	for i, v := range viol {
+		if v.Reader >= 0 {
+			p := m.h.ProbeWord(v.Reader, v.Addr)
+			wheres[i] = fmt.Sprintf("reader L1: present=%v dirty=%v val=%d; L2: present=%v val=%d; mem=%d",
+				p.L1Present, p.L1Dirty, p.L1Val, p.L2Present, p.L2Val, p.MemVal)
+		}
+	}
+	m.h.Drain()
+	m.o.CheckFinal(m.h.Memory())
+	if m.h.Evictions() > 0 {
+		rep.EvictionRuns++
+	}
+
+	out := Outcome{Regs: append([]mem.Word(nil), m.regs...), Mem: make([]mem.Word, len(t.Final))}
+	for i, v := range t.Final {
+		out.Mem[i] = m.h.Memory().ReadWord(t.AddrOf(v))
+	}
+	key := out.Key()
+	info := rep.Outcomes[key]
+	if info == nil {
+		info = &OutcomeInfo{Outcome: out, Key: key, Allowed: t.allowed(out), Sample: sched}
+		rep.Outcomes[key] = info
+	}
+	info.Count++
+	rep.Schedules++
+
+	if m.o.Total() > 0 {
+		rep.ViolationSchedules++
+		for i, v := range m.o.Violations() {
+			if len(rep.Violations) >= maxViolationsKept {
+				break
+			}
+			vi := ViolationInfo{
+				Class:    string(v.Class),
+				Schedule: sched,
+				Detail:   v.String(),
+				Addr:     uint32(v.Addr),
+				Reader:   v.Reader,
+				Writer:   v.Writer,
+			}
+			if i < len(wheres) {
+				vi.Where = wheres[i]
+			}
+			rep.Violations = append(rep.Violations, vi)
+		}
+	}
+}
+
+// replayer is the engine.Scheduler that drives one adjacent-swap run: it
+// replays the prefix of candidate-index choices, then extends it with
+// the first candidate the canonicalization allows, recording the
+// candidate list at every decision for the driver's backtracking.
 type replayer struct {
 	prefix []int
 	budget int
@@ -150,13 +250,14 @@ func (r *replayer) schedule() string {
 	return b.String()
 }
 
-// maxErrorsKept caps Report.Errors.
+// maxErrorsKept caps Report.Errors; ErrorRuns keeps counting past it.
 const maxErrorsKept = 8
 
 // Explore drives the test through every schedule (up to opts) under
 // cfg, aggregating outcomes, oracle violations, and exploration
-// statistics. The returned error covers only malformed tests; machine
-// or expectation failures are reported through Report/Verdict.
+// statistics. The returned error covers only malformed tests or bad
+// options; machine or expectation failures are reported through
+// Report/Verdict.
 func Explore(t Test, cfg Config, opts Options) (*Report, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
@@ -164,32 +265,43 @@ func Explore(t Test, cfg Config, opts Options) (*Report, error) {
 	if len(t.Threads) > litmusCores {
 		return nil, fmt.Errorf("litmus %s: %d threads exceed the %d-core litmus machine", t.Name, len(t.Threads), litmusCores)
 	}
-	if t.Packed {
-		return nil, fmt.Errorf("litmus %s: packed variable layout voids the independence pruning; exploration is unsupported", t.Name)
-	}
 	opts = opts.withDefaults()
-	rep := &Report{Test: t.Name, Config: cfg.Name, Outcomes: map[string]*OutcomeInfo{}}
+	rep := &Report{Test: t.Name, Config: cfg.Name, Algo: opts.Algo, Outcomes: map[string]*OutcomeInfo{}}
+	switch opts.Algo {
+	case AlgoSwap:
+		exploreSwap(t, cfg, opts, rep)
+	case AlgoDPOR:
+		exploreDPOR(t, cfg, opts, rep)
+	default:
+		return nil, fmt.Errorf("litmus %s: unknown exploration algorithm %q (want %q or %q)", t.Name, opts.Algo, AlgoDPOR, AlgoSwap)
+	}
+	return rep, nil
+}
 
+// exploreSwap is the adjacent-swap reference explorer: repeatedly run
+// the engine from scratch replaying a prefix of choices, extend
+// canonically to completion, then backtrack to the deepest decision
+// with an unexplored, unpruned candidate.
+func exploreSwap(t Test, cfg Config, opts Options, rep *Report) {
 	prefix := []int{}
-	for runs := 0; ; runs++ {
-		if runs >= opts.MaxSchedules {
+	for {
+		if rep.Runs >= opts.MaxSchedules {
 			rep.Capped = true
 			break
 		}
-		r := runOne(t, cfg, prefix, opts.Budget, rep)
-		next, ok := backtrack(r, &rep.Pruned)
+		r := runSwapOne(t, cfg, prefix, opts.Budget, rep)
+		next, ok := swapBacktrack(r, &rep.Pruned)
 		if !ok {
 			break
 		}
 		prefix = next
 	}
-	return rep, nil
 }
 
-// backtrack finds the deepest decision with an unexplored, unpruned
+// swapBacktrack finds the deepest decision with an unexplored, unpruned
 // candidate and returns the prefix that takes it; ok=false means the
 // schedule space is exhausted.
-func backtrack(r *replayer, pruned *int64) ([]int, bool) {
+func swapBacktrack(r *replayer, pruned *int64) ([]int, bool) {
 	for d := len(r.chosen) - 1; d >= 0; d-- {
 		for j := r.chosen[d] + 1; j < len(r.trace[d]); j++ {
 			if r.prunedAt(d, r.trace[d], j) {
@@ -205,22 +317,14 @@ func backtrack(r *replayer, pruned *int64) ([]int, bool) {
 	return nil, false
 }
 
-// runOne executes one schedule: a fresh hierarchy, engine, and oracle,
-// driven by the replayer. Complete runs drain the hierarchy, check the
-// final memory image, and fold the outcome and any violations into rep.
-func runOne(t Test, cfg Config, prefix []int, budget int, rep *Report) *replayer {
-	h := litmusHierarchy(cfg)
-	regs := make([]mem.Word, t.Regs)
-	for i := range regs {
-		regs[i] = UnsetReg
-	}
-	e := engine.New(h, Guests(t, cfg, regs))
-	o := oracle.New(len(t.Threads))
-	e.SetObserver(o)
+// runSwapOne executes one adjacent-swap schedule on a fresh machine.
+func runSwapOne(t Test, cfg Config, prefix []int, budget int, rep *Report) *replayer {
+	m := newMachine(t, cfg)
 	r := &replayer{prefix: prefix, budget: budget, pruned: &rep.Pruned}
-	e.SetScheduler(r)
+	m.e.SetScheduler(r)
 
-	_, err := e.Run()
+	_, err := m.e.Run()
+	rep.Runs++
 	switch {
 	case r.status == runDeadEnd:
 		rep.DeadEnds++
@@ -230,56 +334,13 @@ func runOne(t Test, cfg Config, prefix []int, budget int, rep *Report) *replayer
 		return r
 	case err != nil:
 		r.status = runError
+		rep.ErrorRuns++
 		if len(rep.Errors) < maxErrorsKept {
 			rep.Errors = append(rep.Errors, fmt.Sprintf("schedule %s: %v", r.schedule(), err))
 		}
 		return r
 	}
-
-	// Probe stale-read violations before the drain rewrites memory, so
-	// the "where" snapshot reflects the machine state the reader saw.
-	sched := r.schedule()
-	viol := o.Violations()
-	wheres := make([]string, len(viol))
-	for i, v := range viol {
-		if v.Reader >= 0 {
-			p := h.ProbeWord(v.Reader, v.Addr)
-			wheres[i] = fmt.Sprintf("reader L1: present=%v dirty=%v val=%d; L2: present=%v val=%d; mem=%d",
-				p.L1Present, p.L1Dirty, p.L1Val, p.L2Present, p.L2Val, p.MemVal)
-		}
-	}
-	h.Drain()
-	o.CheckFinal(h.Memory())
-	if h.Evictions() > 0 {
-		rep.EvictionRuns++
-	}
-
-	out := Outcome{Regs: append([]mem.Word(nil), regs...), Mem: make([]mem.Word, len(t.Final))}
-	for i, v := range t.Final {
-		out.Mem[i] = h.Memory().ReadWord(t.AddrOf(v))
-	}
-	key := out.Key()
-	info := rep.Outcomes[key]
-	if info == nil {
-		info = &OutcomeInfo{Outcome: out, Key: key, Allowed: t.allowed(out), Sample: sched}
-		rep.Outcomes[key] = info
-	}
-	info.Count++
-	rep.Schedules++
-
-	if o.Total() > 0 {
-		rep.ViolationSchedules++
-		for i, v := range o.Violations() {
-			if len(rep.Violations) >= maxViolationsKept {
-				break
-			}
-			vi := ViolationInfo{Class: string(v.Class), Schedule: sched, Detail: v.String()}
-			if i < len(wheres) {
-				vi.Where = wheres[i]
-			}
-			rep.Violations = append(rep.Violations, vi)
-		}
-	}
+	m.finish(t, rep, r.schedule())
 	return r
 }
 

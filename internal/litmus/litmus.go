@@ -246,7 +246,11 @@ type Test struct {
 	// Final lists variables whose drained final memory value joins the
 	// outcome.
 	Final []VarID
-	// Allowed is the set of permitted outcomes.
+	// Allowed is the set of permitted outcomes. A nil Allowed leaves the
+	// outcome set open (every outcome is permitted) — enumerated tests
+	// (see enumerate.go) use this, relying on the oracle rather than an
+	// outcome whitelist for their verdicts. An empty non-nil set still
+	// forbids everything.
 	Allowed []Outcome
 	// Requires lists outcomes that must each appear on at least one
 	// schedule — they prove the exploration actually reaches the
@@ -259,9 +263,10 @@ type Test struct {
 	OCC bool
 	// Packed lays consecutive variables out word-by-word on shared cache
 	// lines (false sharing) instead of one line per variable. Packed
-	// tests exercise line-granular WB/INV interactions but void the
-	// explorer's independence-pruning precondition, so Explore rejects
-	// them; the fuzz harness runs them on fixed schedules instead.
+	// tests exercise line-granular WB/INV interactions; both explorers
+	// handle them soundly (same-line ops are dependent under both
+	// relations), the adjacent-swap one just prunes nothing between
+	// packed neighbors.
 	Packed bool
 }
 
@@ -335,8 +340,12 @@ var varKinds = map[InstrKind]bool{
 
 var regKinds = map[InstrKind]bool{ILoad: true, ISpin: true}
 
-// allowed reports whether o is in the test's allowed set.
+// allowed reports whether o is in the test's allowed set; a nil set is
+// open (everything allowed).
 func (t Test) allowed(o Outcome) bool {
+	if t.Allowed == nil {
+		return true
+	}
 	for _, a := range t.Allowed {
 		if outcomeEq(a, o) {
 			return true

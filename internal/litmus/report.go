@@ -32,6 +32,12 @@ type ViolationInfo struct {
 	// Where reports, from the reader's core at detection time, where the
 	// stale value was cached (empty for lost updates).
 	Where string `json:"where,omitempty"`
+	// Addr, Reader, and Writer carry the oracle's attribution fields so
+	// downstream judges (internal/fuzzgen) can map a violation back to
+	// an annotation site without re-running the schedule.
+	Addr   uint32 `json:"addr"`
+	Reader int    `json:"reader"`
+	Writer int    `json:"writer"`
 }
 
 // Report is the result of exhaustively exploring one test under one
@@ -39,23 +45,41 @@ type ViolationInfo struct {
 type Report struct {
 	Test   string `json:"test"`
 	Config string `json:"config"`
+	// Algo is the exploration algorithm that produced the report
+	// (AlgoDPOR or AlgoSwap).
+	Algo string `json:"algo,omitempty"`
 
-	// Schedules counts complete (un-truncated, un-pruned) schedules
-	// executed; Pruned counts candidate branches cut by the
-	// partial-order reduction; DeadEnds counts abandoned non-canonical
-	// prefixes (every candidate pruned); Truncated counts schedules cut
-	// off by the step budget.
+	// Runs counts every engine run the exploration performed, whatever
+	// its fate; the accounting invariant is
+	//
+	//	Runs == Schedules + DeadEnds + Truncated + DedupCuts + ErrorRuns.
+	//
+	// Schedules counts complete schedules executed; Pruned counts
+	// candidate branches cut by the partial-order reduction; DeadEnds
+	// counts abandoned redundant prefixes (every candidate pruned or
+	// asleep); Truncated counts schedules cut off by the step budget.
+	Runs      int   `json:"runs"`
 	Schedules int   `json:"schedules"`
 	Pruned    int64 `json:"pruned"`
 	DeadEnds  int   `json:"dead_ends"`
 	Truncated int   `json:"truncated"`
+	// DedupCuts counts runs abandoned because the frontier state's
+	// fingerprint was already fully explored; StatesSeen is the size of
+	// the dedup table at the end (DPOR only).
+	DedupCuts  int `json:"dedup_cuts,omitempty"`
+	StatesSeen int `json:"states_seen,omitempty"`
+	// ErrorRuns counts runs that failed with an engine error; the first
+	// few messages are kept in Errors.
+	ErrorRuns int `json:"error_runs,omitempty"`
 	// Capped is set when the exploration hit MaxSchedules before
 	// exhausting the schedule space — the report is then a sample, not a
 	// proof.
 	Capped bool `json:"capped,omitempty"`
-	// EvictionRuns counts runs that evicted at least one cache line —
-	// any nonzero value voids the pruning's soundness guarantee (see
-	// isa.Independent) and fails the verdict.
+	// EvictionRuns counts runs that evicted at least one cache line.
+	// Under AlgoSwap any nonzero value voids the pruning's soundness
+	// guarantee (see isa.Independent) and fails the verdict; AlgoDPOR
+	// treats cache-set conflicts as dependencies (isa.Deps), so
+	// evictions are explored soundly and merely counted here.
 	EvictionRuns int `json:"eviction_runs,omitempty"`
 
 	// Outcomes maps outcome keys to their aggregate info.
@@ -114,8 +138,8 @@ func (r *Report) Verdict(t Test) Verdict {
 		v.Problems = append(v.Problems, fmt.Sprintf(format, args...))
 	}
 
-	if len(r.Errors) > 0 {
-		problem("%d engine error(s), first: %s", len(r.Errors), r.Errors[0])
+	if r.ErrorRuns > 0 {
+		problem("%d engine error(s), first: %s", r.ErrorRuns, r.Errors[0])
 	}
 	if r.Truncated > 0 {
 		problem("%d schedule(s) truncated by the step budget: exploration is not exhaustive", r.Truncated)
@@ -123,7 +147,7 @@ func (r *Report) Verdict(t Test) Verdict {
 	if r.Capped {
 		problem("schedule cap hit: exploration is not exhaustive")
 	}
-	if r.EvictionRuns > 0 {
+	if r.EvictionRuns > 0 && r.Algo != AlgoDPOR {
 		problem("%d run(s) evicted cache lines: partial-order pruning is unsound for this test", r.EvictionRuns)
 	}
 

@@ -313,9 +313,115 @@ var Suite = []Test{
 	},
 }
 
-// SuiteTest returns the suite entry with the given name.
+// ExtraSuite holds tests outside the standard 20-test matrix: the
+// 4-thread disjoint-pair test that demonstrates the DPOR explorer's
+// strict schedule win over adjacent-swap (cross-pair steps are
+// independent under isa.Deps but not under the legacy relation), and
+// the packed-layout variants the legacy explorer used to reject.
+var ExtraSuite = []Test{
+	{
+		Name: "mp-pair-annotated",
+		Doc: "Two disjoint message-passing pairs: threads 0/1 hand off X over flag 0, " +
+			"threads 2/3 hand off Y over flag 1. The pairs share nothing, so DPOR (whose " +
+			"dependence relation distinguishes sync primitives by ID) explores strictly " +
+			"fewer schedules than adjacent-swap, which treats all sync ops as dependent.",
+		Vars: 2, Regs: 2,
+		Threads: [][]Instr{
+			{Store(vX, 1), Publish(vX, 1), FlagSet(0, 1)},
+			{FlagWait(0, 1), Invalidate(vX, 0), Load(vX, 0)},
+			{Store(vY, 2), Publish(vY, 3), FlagSet(1, 1)},
+			{FlagWait(1, 1), Invalidate(vY, 2), Load(vY, 1)},
+		},
+		Allowed:  []Outcome{regsOut(1, 2)},
+		Requires: []Outcome{regsOut(1, 2)},
+		Expect:   ExpectNone,
+	},
+	{
+		Name: "mp-packed",
+		Doc: "Message passing under the packed layout: the payload shares its cache " +
+			"line with a variable the reader dirties (false sharing). Word-granular dirty " +
+			"tracking must keep the handoff exact on every schedule.",
+		Vars: 2, Regs: 1, Packed: true,
+		Threads: [][]Instr{
+			{Store(vX, 1), Publish(vX, 1), FlagSet(0, 1)},
+			{Store(vY, 5), FlagWait(0, 1), Invalidate(vX, 0), Load(vX, 0)},
+		},
+		Allowed:  []Outcome{regsOut(1)},
+		Requires: []Outcome{regsOut(1)},
+		Expect:   ExpectNone,
+	},
+	{
+		Name: "sb-packed",
+		Doc: "Store buffering under the packed layout: both variables live on one " +
+			"line, so every WB/INV is line-granular false sharing. The relaxed (0,0) " +
+			"outcome must stay impossible.",
+		Vars: 2, Regs: 2, Packed: true,
+		Threads: [][]Instr{
+			{Store(vX, 1), WB(vX), INV(vY), Load(vY, 0)},
+			{Store(vY, 1), WB(vY), INV(vX), Load(vX, 1)},
+		},
+		Allowed:  []Outcome{regsOut(0, 1), regsOut(1, 0), regsOut(1, 1)},
+		Requires: []Outcome{regsOut(0, 1), regsOut(1, 0), regsOut(1, 1)},
+		Expect:   ExpectNone,
+	},
+	{
+		Name: "fuzz-csexit-nowb-packed",
+		Doc: "fuzz-csexit-nowb with a false-sharing neighbor: the reader dirties the " +
+			"word next to the payload inside its critical section. The dropped exit " +
+			"writeback must still be exposed (missing-wb), and the neighbor word must " +
+			"not mask or corrupt the drained payload.",
+		Vars: 2, Regs: 1, Packed: true,
+		Threads: [][]Instr{
+			{CSEnter(0), Store(vX, 1), Release(0)},
+			{CSEnter(0), Store(vY, 5), Load(vX, 0), CSExit(0)},
+		},
+		Final:    []VarID{vX},
+		Allowed:  []Outcome{{Regs: []mem.Word{0}, Mem: []mem.Word{1}}},
+		Requires: []Outcome{{Regs: []mem.Word{0}, Mem: []mem.Word{1}}},
+		Expect:   ExpectMissingWB,
+	},
+	{
+		Name: "fuzz-notify-nowb-packed",
+		Doc: "fuzz-notify-nowb with a false-sharing neighbor dirtied by the reader " +
+			"before its await: the weakened notify (raw flag set, no writeback) must " +
+			"still leave the ordered reader stale (missing-wb).",
+		Vars: 2, Regs: 1, Packed: true,
+		Threads: [][]Instr{
+			{BarrierSync(0), Store(vX, 1), FlagSet(1, 2)},
+			{BarrierSync(0), Store(vY, 5), AwaitFlag(1, 2), Load(vX, 0)},
+		},
+		Final:    []VarID{vX},
+		Allowed:  []Outcome{{Regs: []mem.Word{0}, Mem: []mem.Word{1}}},
+		Requires: []Outcome{{Regs: []mem.Word{0}, Mem: []mem.Word{1}}},
+		Expect:   ExpectMissingWB,
+	},
+	{
+		Name: "fuzz-await-noinv-packed",
+		Doc: "fuzz-await-noinv with a false-sharing neighbor: the reader's prelude " +
+			"load shares a line with its own dirty word, so the stale copy is pinned in " +
+			"its L1. The weakened await (raw wait, no invalidation) must still re-read " +
+			"the stale line (missing-inv).",
+		Vars: 2, Regs: 2, Packed: true,
+		Threads: [][]Instr{
+			{BarrierSync(0), Store(vX, 1), NotifyFlag(1, 2)},
+			{BarrierSync(0), Store(vY, 5), Load(vX, 0), FlagWait(1, 2), Load(vX, 1)},
+		},
+		Final: []VarID{vX},
+		Allowed: []Outcome{
+			{Regs: []mem.Word{0, 0}, Mem: []mem.Word{1}},
+			{Regs: []mem.Word{1, 1}, Mem: []mem.Word{1}},
+		},
+		Requires: []Outcome{
+			{Regs: []mem.Word{0, 0}, Mem: []mem.Word{1}},
+			{Regs: []mem.Word{1, 1}, Mem: []mem.Word{1}},
+		},
+		Expect: ExpectMissingINV,
+	},
+}
+
+// SuiteTest returns the suite or extra-suite entry with the given name.
 func SuiteTest(name string) (Test, bool) {
-	for _, t := range Suite {
+	for _, t := range append(append([]Test{}, Suite...), ExtraSuite...) {
 		if t.Name == name {
 			return t, true
 		}

@@ -1,0 +1,132 @@
+package oracle
+
+import (
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Fingerprint hashes the oracle's complete shadow state for the litmus
+// explorer's dedup table. Two explorer states are only interchangeable
+// if their *futures produce the same verdicts*, and verdicts come from
+// this shadow machine, so the fingerprint must cover everything the
+// oracle's future decisions read: per-thread and per-primitive vector
+// clocks, every shadow word's happens-before-last write and concurrent
+// set, unpublished-write sets, last WB/INV sites, the per-address
+// reported filter, and the violation totals. Map iteration is made
+// deterministic by sorting keys.
+func (o *Oracle) Fingerprint() uint64 {
+	h := mem.FNVOffset
+	for _, v := range o.vc {
+		h = hashClock(h, v)
+	}
+	// Tag each primitive-clock map so a lock's clock can never alias a
+	// flag's with the same ID.
+	h = mem.Mix64(h, uint64(len(o.locks))<<8|'L')
+	h = hashClockMap(h, o.locks)
+	h = mem.Mix64(h, uint64(len(o.flags))<<8|'F')
+	h = hashClockMap(h, o.flags)
+	for _, id := range sortedIntKeys(len(o.barriers), func(ks []int) []int {
+		for k := range o.barriers {
+			ks = append(ks, k)
+		}
+		return ks
+	}) {
+		b := o.barriers[id]
+		h = mem.Mix64(h, uint64(id))
+		h = hashClock(h, b.acc)
+		h = mem.Mix64(h, uint64(b.dones))
+	}
+	addrs := make([]mem.Addr, 0, len(o.words))
+	for a := range o.words {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		ws := o.words[a]
+		h = mem.Mix64(h, uint64(a))
+		h = hashWrite(h, ws.wr)
+		h = mem.Mix64(h, uint64(len(ws.conc)))
+		for _, w := range ws.conc {
+			h = hashWrite(h, w)
+		}
+		if ws.unchecked {
+			h = mem.Mix64(h, ^uint64(0))
+		}
+	}
+	for t, set := range o.unpub {
+		h = mem.Mix64(h, uint64(t))
+		us := make([]mem.Addr, 0, len(set))
+		for a := range set {
+			us = append(us, a)
+		}
+		sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+		for _, a := range us {
+			h = mem.Mix64(h, uint64(a))
+		}
+	}
+	for t := 0; t < o.n; t++ {
+		h = hashOpAt(h, o.lastWB[t])
+		h = hashOpAt(h, o.lastINV[t])
+	}
+	ra := make([]mem.Addr, 0, len(o.reported))
+	for a := range o.reported {
+		ra = append(ra, a)
+	}
+	sort.Slice(ra, func(i, j int) bool { return ra[i] < ra[j] })
+	for _, a := range ra {
+		h = mem.Mix64(h, uint64(a))
+	}
+	h = mem.Mix64(h, uint64(len(o.violations)))
+	return mem.Mix64(h, uint64(o.total))
+}
+
+func hashClock(h uint64, v vclock) uint64 {
+	for _, x := range v {
+		h = mem.Mix64(h, uint64(x))
+	}
+	return h
+}
+
+func hashClockMap(h uint64, m map[int]vclock) uint64 {
+	for _, id := range sortedIntKeys(len(m), func(ks []int) []int {
+		for k := range m {
+			ks = append(ks, k)
+		}
+		return ks
+	}) {
+		h = mem.Mix64(h, uint64(id))
+		h = hashClock(h, m[id])
+	}
+	return h
+}
+
+func hashWrite(h uint64, w writeRec) uint64 {
+	h = mem.Mix64(h, uint64(w.thread))
+	h = mem.Mix64(h, uint64(w.clock))
+	h = mem.Mix64(h, uint64(w.cycle))
+	v := uint64(w.val) << 1
+	if w.published {
+		v |= 1
+	}
+	return mem.Mix64(h, v)
+}
+
+func hashOpAt(h uint64, s opAt) uint64 {
+	if !s.valid {
+		return mem.Mix64(h, 0)
+	}
+	h = mem.Mix64(h, uint64(s.op.Kind)<<1|1)
+	h = mem.Mix64(h, uint64(s.op.Range.Base))
+	h = mem.Mix64(h, uint64(s.op.Range.Bytes))
+	return mem.Mix64(h, uint64(s.cycle))
+}
+
+func sortedIntKeys(n int, collect func([]int) []int) []int {
+	if n == 0 {
+		return nil
+	}
+	ks := collect(make([]int, 0, n))
+	sort.Ints(ks)
+	return ks
+}
