@@ -191,7 +191,7 @@ func BenchmarkRunIntraBlock(b *testing.B) {
 		v := v
 		b.Run(v.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := RunIntraBlockOpts(context.Background(), benchScale, RunOptions{Parallel: v.parallel})
+				res, err := runIntraOpts(context.Background(), benchScale, RunOptions{Parallel: v.parallel})
 				if err != nil {
 					b.Fatal(err)
 				}

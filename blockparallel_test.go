@@ -157,8 +157,8 @@ func TestBlockParallelSeededFaultSweepMatchesSerial(t *testing.T) {
 	}
 	// Injected faults make cells fail with detected coherence violations;
 	// that is the experiment working, so only the documents are compared.
-	serial, _ := RunIntraBlockOpts(context.Background(), ScaleTest, opts(false))
-	par, _ := RunIntraBlockOpts(context.Background(), ScaleTest, opts(true))
+	serial, _ := runIntraOpts(context.Background(), ScaleTest, opts(false))
+	par, _ := runIntraOpts(context.Background(), ScaleTest, opts(true))
 	if !bytes.Equal(encodeDoc(t, serial.Document(ScaleTest)), encodeDoc(t, par.Document(ScaleTest))) {
 		t.Error("seeded fault sweep differs between serial and block-parallel engines")
 	}

@@ -13,8 +13,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/envelope"
 	"repro/internal/fuzzgen"
-	"repro/internal/runner"
 )
 
 func TestParseSeeds(t *testing.T) {
@@ -72,8 +72,8 @@ func TestFuzzCLI(t *testing.T) {
 		if err := json.Unmarshal(a, &rep); err != nil {
 			t.Fatalf("decoding -json output: %v", err)
 		}
-		if rep.Schema != runner.SchemaV2 || rep.Kind != runner.KindFuzz {
-			t.Errorf("schema/kind = %q/%q, want %q/%q", rep.Schema, rep.Kind, runner.SchemaV2, runner.KindFuzz)
+		if rep.Schema != envelope.SchemaV2 || rep.Kind != envelope.KindFuzz {
+			t.Errorf("schema/kind = %q/%q, want %q/%q", rep.Schema, rep.Kind, envelope.SchemaV2, envelope.KindFuzz)
 		}
 		if rep.Programs != 8 || len(rep.Runs) != 8*4 {
 			t.Errorf("programs = %d, runs = %d", rep.Programs, len(rep.Runs))

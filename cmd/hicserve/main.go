@@ -1,0 +1,79 @@
+// Command hicserve runs sweep-as-a-service: an HTTP/JSON server that
+// executes the same experiment sweeps the CLIs run and answers with the
+// same canonical documents, fronted by a bounded job queue, per-tenant
+// concurrency limits, and a content-addressed result cache.
+//
+// Usage:
+//
+//	hicserve [-addr :8080] [-workers N] [-queue N] [-per-tenant N]
+//	         [-parallel N] [-timeout D] [-cache-dir DIR]
+//
+// Endpoints (see internal/serve):
+//
+//	POST /v2/sweeps             submit a sweep request
+//	GET  /v2/sweeps/{id}        job status with live per-cell progress
+//	GET  /v2/sweeps/{id}/result the finished document, byte-identical
+//	                            to the equivalent CLI -json invocation
+//	GET  /v2/metrics            server counters (hic-metrics/v1)
+//	GET  /healthz               liveness
+//
+// Every sweep CLI takes -server URL to run here instead of locally:
+//
+//	hicsim -json -scale test -server http://localhost:8080
+//
+// Results are cached by content address — a hash of the normalized
+// request plus the server's code version. Because the simulator is
+// deterministic, a cache hit returns exactly the bytes a fresh run
+// would compute; a warm resubmit is answered at submit time with zero
+// engine steps. -cache-dir persists the cache across restarts.
+//
+// -workers bounds concurrent sweeps, -queue the submitted backlog, and
+// -per-tenant one tenant's in-flight jobs (tenants are named by the
+// X-Hic-Tenant request header). Submits beyond either limit are refused
+// with 429 and a Retry-After hint. -parallel and -timeout shape each
+// sweep exactly like the CLI flags of the same names.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hicserve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrent sweep jobs")
+	queue := flag.Int("queue", 16, "submitted-job backlog bound (beyond it submits get 429)")
+	perTenant := flag.Int("per-tenant", 4, "per-tenant in-flight job bound")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count within each sweep")
+	timeout := flag.Duration("timeout", 0, "per-run timeout within a sweep (0 = none)")
+	cacheDir := flag.String("cache-dir", "", "persist the result cache to this directory (default: memory only)")
+	flag.Parse()
+
+	s, err := serve.New(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		PerTenant:  *perTenant,
+		Parallel:   *parallel,
+		Timeout:    *timeout,
+		CacheDir:   *cacheDir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("listening on %s (workers=%d queue=%d per-tenant=%d)", *addr, *workers, *queue, *perTenant)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -8,7 +8,7 @@
 //	hicsim [-scale test|bench] [-parallel N] [-timeout D] [-json] [-timing] [-check]
 //	       [-check-coherence] [-faults matrix|PLAN] [-metrics] [-trace-chrome F]
 //	       [-schema v1|v2] [-cpuprofile F] [-memprofile F]
-//	       [-blocks N] [-cores-per-block N] [-block-parallel]
+//	       [-blocks N] [-cores-per-block N] [-block-parallel] [-server URL]
 //
 // -block-parallel runs every incoherent-hierarchy simulation on the
 // block-parallel engine — one event heap per block on its own goroutine
@@ -58,9 +58,16 @@
 // DESIGN.md "Performance" for the profiling workflow); sweep goroutines
 // are labeled workload/config, so `go tool pprof -tags` attributes
 // samples to experiment cells.
+//
+// -server URL delegates the sweep to a hicserve instance (suite "all",
+// or "manycore" with -blocks) and prints the fetched document —
+// byte-identical to a local -json run; warm resubmits are answered from
+// the server's content-addressed cache without re-simulating. -check
+// still runs locally, against the fetched document.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -71,6 +78,7 @@ import (
 	hic "repro"
 	"repro/internal/cli"
 	"repro/internal/runner"
+	"repro/internal/serve"
 	"repro/internal/shapecheck"
 )
 
@@ -89,8 +97,13 @@ func main() {
 	stopProfiles := f.StartProfiles()
 	defer stopProfiles()
 
-	opts := f.RunOptions()
+	opts := f.Options()
 	ctx := context.Background()
+
+	if f.Server != "" {
+		runRemote(ctx, f)
+		return
+	}
 
 	if f.Blocks > 0 {
 		runManycore(ctx, f, s, opts)
@@ -98,7 +111,7 @@ func main() {
 	}
 
 	if f.Faults != "" {
-		rep, err := hic.RunBuggyAnnotation(ctx, s, opts)
+		rep, err := hic.RunBuggyAnnotation(ctx, s, opts...)
 		if rep != nil {
 			fmt.Print(rep.Render())
 		}
@@ -109,8 +122,8 @@ func main() {
 	}
 
 	if f.JSON || f.Check || f.Tracing() {
-		intra, intraErr := hic.RunIntraBlockOpts(ctx, s, opts)
-		inter, interErr := hic.RunInterBlockOpts(ctx, s, opts)
+		intra, intraErr := hic.RunIntra(ctx, s, opts...)
+		inter, interErr := hic.RunInter(ctx, s, opts...)
 		doc := runner.Merge(intra.Document(s), inter.Document(s))
 		if f.JSON {
 			if err := f.EncodeDoc(os.Stdout, doc); err != nil {
@@ -150,7 +163,7 @@ func main() {
 
 	fmt.Println("== E3 + E4: intra-block (Figures 9, 10) ========================")
 	start := time.Now()
-	intra, err := hic.RunIntraBlockOpts(ctx, s, opts)
+	intra, err := hic.RunIntra(ctx, s, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -165,7 +178,7 @@ func main() {
 
 	fmt.Println("== E5 + E6: inter-block (Figures 11, 12) =======================")
 	start = time.Now()
-	inter, err := hic.RunInterBlockOpts(ctx, s, opts)
+	inter, err := hic.RunInter(ctx, s, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -176,7 +189,33 @@ func main() {
 	fmt.Printf("mean normalized execution time: Base %.3f, Addr %.3f, Addr+L %.3f (paper: Addr+L ~1.05, -31%% vs Base, -5%% vs Addr)\n",
 		m12["Base"], m12["Addr"], m12["Addr+L"])
 	fmt.Printf("\nsweep wall time (%d workers): intra %s, inter %s\n",
-		opts.Workers(1<<30), intraWall.Round(time.Millisecond), interWall.Round(time.Millisecond))
+		hic.NewRunOptions(opts...).Workers(1<<30), intraWall.Round(time.Millisecond), interWall.Round(time.Millisecond))
+}
+
+// runRemote delegates the sweep to the -server instance and prints the
+// fetched document. The shapecheck gate is not a server concern: -check
+// decodes the fetched bytes and evaluates the orderings locally, so the
+// gate behaves identically either way.
+func runRemote(ctx context.Context, f *cli.Flags) {
+	req := serve.Request{Suite: "all"}
+	if f.Blocks > 0 {
+		req = serve.Request{Suite: "manycore", Blocks: f.Blocks, CoresPerBlock: f.CoresPerBlock}
+	}
+	data, err := f.RunRemote(ctx, req, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if f.Check {
+		doc, err := runner.Decode(bytes.NewReader(data))
+		if err != nil {
+			log.Fatalf("decoding served document: %v", err)
+		}
+		vs := shapecheck.Check(doc)
+		fmt.Fprint(os.Stderr, shapecheck.Render(vs))
+		if len(vs) > 0 {
+			os.Exit(1)
+		}
+	}
 }
 
 // runManycore executes the E7 block-scaling sweep selected by -blocks:
@@ -185,9 +224,9 @@ func main() {
 // 1024-core sweep. With -json the document (suite "manycore") is emitted
 // on stdout; otherwise the normalized-execution-time curve is rendered
 // as text.
-func runManycore(ctx context.Context, f *cli.Flags, s hic.Scale, opts hic.RunOptions) {
+func runManycore(ctx context.Context, f *cli.Flags, s hic.Scale, opts []hic.Option) {
 	start := time.Now()
-	res, err := hic.RunManycoreOpts(ctx, s, hic.ManycoreBlockCounts(f.Blocks), f.CoresPerBlock, opts)
+	res, err := hic.RunManycore(ctx, s, hic.ManycoreBlockCounts(f.Blocks), f.CoresPerBlock, opts...)
 	wall := time.Since(start)
 	if f.JSON {
 		if res != nil {
@@ -207,5 +246,5 @@ func runManycore(ctx context.Context, f *cli.Flags, s hic.Scale, opts hic.RunOpt
 		f.Blocks, f.CoresPerBlock)
 	fmt.Println(res.Curve.Render())
 	fmt.Printf("sweep wall time (%d workers): %s\n",
-		opts.Workers(1<<30), wall.Round(time.Millisecond))
+		hic.NewRunOptions(opts...).Workers(1<<30), wall.Round(time.Millisecond))
 }

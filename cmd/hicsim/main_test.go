@@ -14,6 +14,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/envelope"
 	"repro/internal/obs"
 	"repro/internal/runner"
 )
@@ -46,8 +47,8 @@ func TestHicsimFlagPlumbing(t *testing.T) {
 		if err != nil {
 			t.Fatalf("decoding -json output: %v", err)
 		}
-		if doc.Schema != runner.SchemaV2 || doc.Kind != runner.KindResults {
-			t.Errorf("schema/kind = %q/%q, want %q/%q", doc.Schema, doc.Kind, runner.SchemaV2, runner.KindResults)
+		if doc.Schema != envelope.SchemaV2 || doc.Kind != envelope.KindResults {
+			t.Errorf("schema/kind = %q/%q, want %q/%q", doc.Schema, doc.Kind, envelope.SchemaV2, envelope.KindResults)
 		}
 		if doc.Scale != "test" || doc.Suite != "all" {
 			t.Errorf("scale/suite = %s/%s, want test/all", doc.Scale, doc.Suite)
@@ -73,8 +74,8 @@ func TestHicsimFlagPlumbing(t *testing.T) {
 		if err != nil {
 			t.Fatalf("decoding -json output: %v", err)
 		}
-		if doc.Schema != runner.SchemaVersion || doc.Kind != "" {
-			t.Errorf("schema/kind = %q/%q, want %q with no kind", doc.Schema, doc.Kind, runner.SchemaVersion)
+		if doc.Schema != envelope.ResultsV1 || doc.Kind != "" {
+			t.Errorf("schema/kind = %q/%q, want %q with no kind", doc.Schema, doc.Kind, envelope.ResultsV1)
 		}
 		// The v1 layout predates per-run metrics: the compatibility
 		// writer must strip them even when -metrics recorded them.

@@ -6,7 +6,7 @@
 //
 //	interblock [-scale test|bench] [-counts] [-parallel N] [-timeout D] [-json] [-timing]
 //	           [-check-coherence] [-metrics] [-trace-chrome F] [-schema v1|v2]
-//	           [-cpuprofile F] [-memprofile F]
+//	           [-cpuprofile F] [-memprofile F] [-server URL]
 //
 // Runs fan out across -parallel workers (default GOMAXPROCS) with results
 // identical to a serial sweep; -timeout bounds each individual run. With
@@ -16,7 +16,9 @@
 // coherence oracle to every run; a violation fails the cell with a
 // labeled coherence error. -metrics embeds per-run observability
 // snapshots in the JSON records; -trace-chrome writes the sweep's stall
-// timelines as a Chrome trace_event file (open in Perfetto).
+// timelines as a Chrome trace_event file (open in Perfetto). -server URL
+// delegates the sweep (suite "inter") to a hicserve instance and prints
+// the fetched document — byte-identical to a local -json run.
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 
 	hic "repro"
 	"repro/internal/cli"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -42,6 +45,12 @@ func main() {
 	s, err := f.ScaleValue()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if f.Server != "" {
+		if _, err := f.RunRemote(context.Background(), serve.Request{Suite: "inter"}, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	stopProfiles := f.StartProfiles()
 	defer stopProfiles()

@@ -7,7 +7,7 @@
 //
 //	intrablock [-scale test|bench] [-traffic] [-parallel N] [-timeout D] [-json] [-timing]
 //	           [-check-coherence] [-metrics] [-trace-chrome F] [-schema v1|v2]
-//	           [-cpuprofile F] [-memprofile F]
+//	           [-cpuprofile F] [-memprofile F] [-server URL]
 //
 // Runs fan out across -parallel workers (default GOMAXPROCS) with results
 // identical to a serial sweep; -timeout bounds each individual run. With
@@ -17,7 +17,9 @@
 // coherence oracle to every run; a violation fails the cell with a
 // labeled coherence error. -metrics embeds per-run observability
 // snapshots in the JSON records; -trace-chrome writes the sweep's stall
-// timelines as a Chrome trace_event file (open in Perfetto).
+// timelines as a Chrome trace_event file (open in Perfetto). -server URL
+// delegates the sweep (suite "intra") to a hicserve instance and prints
+// the fetched document — byte-identical to a local -json run.
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 
 	hic "repro"
 	"repro/internal/cli"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -43,6 +46,12 @@ func main() {
 	s, err := f.ScaleValue()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if f.Server != "" {
+		if _, err := f.RunRemote(context.Background(), serve.Request{Suite: "intra"}, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	stopProfiles := f.StartProfiles()
 	defer stopProfiles()

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	litmus [-test NAME] [-config NAME] [-budget N] [-max-schedules N] [-json]
-//	       [-schema v1|v2] [-dpor=BOOL] [-enumerate -k N] [-v]
+//	       [-schema v1|v2] [-dpor=BOOL] [-enumerate -k N] [-server URL] [-v]
 //
 // By default every suite test runs under every configuration (Base,
 // B+M+I, Adaptive) and one verdict line is printed per pair; -v adds
@@ -27,11 +27,13 @@
 // "litmus"; -schema v1 selects the legacy hic-litmus/v1 layout) is
 // emitted on stdout instead of the text report. The document is
 // canonical: fixed key order, sorted outcome maps, no timestamps —
-// byte-identical across runs.
+// byte-identical across runs. -server URL delegates the run to a
+// hicserve instance and prints the fetched document — byte-identical
+// to a local -json run.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -39,41 +41,13 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/litmus"
-	"repro/internal/runner"
+	"repro/internal/serve"
 )
-
-// SchemaVersion identifies the legacy (-schema v1) document layout.
-const SchemaVersion = "hic-litmus/v1"
-
-// Result pairs one exploration's verdict with its full report.
-type Result struct {
-	Verdict litmus.Verdict `json:"verdict"`
-	Report  *litmus.Report `json:"report"`
-}
-
-// Document is the -json output: the whole run, in suite-then-config
-// order. The default envelope is hic/v2 with kind "litmus"; -schema v1
-// emits SchemaVersion with no kind. Exactly one of Results (suite mode)
-// and Sweeps (-enumerate) is populated.
-type Document struct {
-	Schema  string   `json:"schema"`
-	Kind    string   `json:"kind,omitempty"`
-	Budget  int      `json:"budget"`
-	Results []Result `json:"results,omitempty"`
-	Sweeps  []Sweep  `json:"sweeps,omitempty"`
-}
-
-// Sweep is one -enumerate sweep under one configuration.
-type Sweep struct {
-	Config string            `json:"config"`
-	K      int               `json:"k"`
-	Stats  litmus.SweepStats `json:"stats"`
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("litmus: ")
-	f := cli.Register(flag.CommandLine, cli.JSONFlags|cli.FlagExplore)
+	f := cli.Register(flag.CommandLine, cli.JSONFlags|cli.FlagExplore|cli.FlagServer)
 	testName := flag.String("test", "", "run only the named suite test")
 	cfgName := flag.String("config", "", "run only the named configuration (Base, B+M+I, Adaptive)")
 	budget := flag.Int("budget", 0, "per-schedule step budget (0 = default)")
@@ -82,6 +56,18 @@ func main() {
 	flag.Parse()
 	if err := f.Validate(); err != nil {
 		log.Fatal(err)
+	}
+
+	if f.Server != "" {
+		req := serve.Request{
+			Suite: "litmus", Test: *testName, Config: *cfgName,
+			Budget: *budget, MaxSchedules: *maxSched,
+			Swap: !f.DPOR, Enumerate: f.Enumerate, K: f.K,
+		}
+		if _, err := f.RunRemote(context.Background(), req, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	tests := litmus.Suite
@@ -105,96 +91,76 @@ func main() {
 		opts.Algo = litmus.AlgoSwap
 	}
 
-	doc := Document{Schema: runner.SchemaV2, Kind: runner.KindLitmus, Budget: opts.Budget}
-	if f.SchemaV1() {
-		doc.Schema, doc.Kind = SchemaVersion, ""
-	}
-	failed := false
+	var doc *litmus.Document
 	if f.Enumerate {
-		failed = enumerate(f, configs, opts, &doc, *verbose)
+		doc = litmus.EnumerateDocument(configs, f.K, opts)
 	} else {
-		failed = runSuite(f, tests, configs, opts, &doc, *verbose)
-	}
-
-	if f.JSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
+		var err error
+		doc, err = litmus.SuiteDocument(tests, configs, opts)
+		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	if failed {
+
+	if f.JSON {
+		if f.SchemaV1() {
+			doc = doc.LegacyV1()
+		}
+		if err := doc.Encode(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	} else if f.Enumerate {
+		printSweeps(doc, f.K, *verbose)
+	} else {
+		printSuite(doc, *verbose)
+	}
+	if doc.Failed() {
 		os.Exit(1)
 	}
 }
 
-// runSuite explores every selected suite test under every selected
-// configuration, printing verdicts in text mode, and reports whether
-// any verdict failed.
-func runSuite(f *cli.Flags, tests []litmus.Test, configs []litmus.Config, opts litmus.Options, doc *Document, verbose bool) bool {
-	failed := false
-	for _, t := range tests {
-		for _, cfg := range configs {
-			v, rep, err := litmus.Run(t, cfg, opts)
-			if err != nil {
-				log.Fatal(err)
+// printSuite renders the text report: one verdict line per
+// (test, configuration) pair, plus exploration statistics with -v.
+func printSuite(doc *litmus.Document, verbose bool) {
+	for _, r := range doc.Results {
+		fmt.Println(r.Verdict)
+		if verbose {
+			rep := r.Report
+			fmt.Printf("  %d schedules, %d pruned, %d dead ends, %d violation schedule(s)\n",
+				rep.Schedules, rep.Pruned, rep.DeadEnds, rep.ViolationSchedules)
+			for _, o := range rep.SortedOutcomes() {
+				fmt.Printf("  outcome %-24s count=%-6d allowed=%-5v sample=%s\n",
+					o.Key, o.Count, o.Allowed, o.Sample)
 			}
-			doc.Results = append(doc.Results, Result{Verdict: v, Report: rep})
-			if !v.OK {
-				failed = true
-			}
-			if !f.JSON {
-				fmt.Println(v)
-				if verbose {
-					fmt.Printf("  %d schedules, %d pruned, %d dead ends, %d violation schedule(s)\n",
-						rep.Schedules, rep.Pruned, rep.DeadEnds, rep.ViolationSchedules)
-					for _, o := range rep.SortedOutcomes() {
-						fmt.Printf("  outcome %-24s count=%-6d allowed=%-5v sample=%s\n",
-							o.Key, o.Count, o.Allowed, o.Sample)
-					}
-					for _, vi := range rep.Violations {
-						fmt.Printf("  violation [%s] on %s: %s\n", vi.Class, vi.Schedule, vi.Detail)
-					}
-				}
+			for _, vi := range rep.Violations {
+				fmt.Printf("  violation [%s] on %s: %s\n", vi.Class, vi.Schedule, vi.Detail)
 			}
 		}
 	}
-	return failed
 }
 
-// enumerate runs the -enumerate sweep: every litmus shape up to -k ops
-// under every selected configuration. The sweep fails if any annotated
-// program violates or any exploration is not exhaustive.
-func enumerate(f *cli.Flags, configs []litmus.Config, opts litmus.Options, doc *Document, verbose bool) bool {
-	failed := false
-	eo := litmus.EnumOptions{MaxOps: f.K, MaxThreads: 3, DMA: true, Packed: true, Locks: 1, Barriers: true}
-	for _, cfg := range configs {
-		st := Sweep{Config: cfg.Name, K: f.K, Stats: litmus.Sweep(eo, cfg, opts)}
-		doc.Sweeps = append(doc.Sweeps, st)
+// printSweeps renders the -enumerate text report, one line per
+// configuration sweep.
+func printSweeps(doc *litmus.Document, k int, verbose bool) {
+	for _, st := range doc.Sweeps {
 		ok := len(st.Stats.Violating) == 0 && len(st.Stats.Failed) == 0
+		status := "PASS"
 		if !ok {
-			failed = true
+			status = "FAIL"
 		}
-		if !f.JSON {
-			status := "PASS"
-			if !ok {
-				status = "FAIL"
+		fmt.Printf("%s enumerate k=%d config=%s: %d programs, %d mutants\n",
+			status, k, st.Config, st.Stats.Programs, st.Stats.Mutants)
+		if verbose || !ok {
+			fmt.Printf("  runs=%d schedules=%d dedup_cuts=%d states=%d\n",
+				st.Stats.Runs, st.Stats.Schedules, st.Stats.DedupCuts, st.Stats.StatesSeen)
+			for _, name := range st.Stats.Violating {
+				fmt.Printf("  violating: %s\n", name)
 			}
-			fmt.Printf("%s enumerate k=%d config=%s: %d programs, %d mutants\n",
-				status, f.K, cfg.Name, st.Stats.Programs, st.Stats.Mutants)
-			if verbose || !ok {
-				fmt.Printf("  runs=%d schedules=%d dedup_cuts=%d states=%d\n",
-					st.Stats.Runs, st.Stats.Schedules, st.Stats.DedupCuts, st.Stats.StatesSeen)
-				for _, name := range st.Stats.Violating {
-					fmt.Printf("  violating: %s\n", name)
-				}
-				for _, name := range st.Stats.Failed {
-					fmt.Printf("  not exhaustive: %s\n", name)
-				}
+			for _, name := range st.Stats.Failed {
+				fmt.Printf("  not exhaustive: %s\n", name)
 			}
 		}
 	}
-	return failed
 }
 
 func suiteNames() string {

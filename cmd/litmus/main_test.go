@@ -12,7 +12,8 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/runner"
+	"repro/internal/envelope"
+	"repro/internal/litmus"
 )
 
 func buildLitmus(t *testing.T) string {
@@ -55,12 +56,12 @@ func TestLitmusCLI(t *testing.T) {
 		if !bytes.Equal(a, b) {
 			t.Fatal("-json output differs across two identical runs")
 		}
-		var doc Document
+		var doc litmus.Document
 		if err := json.Unmarshal(a, &doc); err != nil {
 			t.Fatalf("decoding -json output: %v", err)
 		}
-		if doc.Schema != runner.SchemaV2 || doc.Kind != runner.KindLitmus {
-			t.Errorf("schema/kind = %q/%q, want %q/%q", doc.Schema, doc.Kind, runner.SchemaV2, runner.KindLitmus)
+		if doc.Schema != envelope.SchemaV2 || doc.Kind != envelope.KindLitmus {
+			t.Errorf("schema/kind = %q/%q, want %q/%q", doc.Schema, doc.Kind, envelope.SchemaV2, envelope.KindLitmus)
 		}
 		if len(doc.Results) == 0 {
 			t.Fatal("no results")
@@ -80,12 +81,12 @@ func TestLitmusCLI(t *testing.T) {
 		if err != nil {
 			t.Fatalf("litmus -json -schema v1: %v", err)
 		}
-		var doc Document
+		var doc litmus.Document
 		if err := json.Unmarshal(out, &doc); err != nil {
 			t.Fatalf("decoding -json output: %v", err)
 		}
-		if doc.Schema != SchemaVersion || doc.Kind != "" {
-			t.Errorf("schema/kind = %q/%q, want %q with no kind", doc.Schema, doc.Kind, SchemaVersion)
+		if doc.Schema != envelope.LitmusV1 || doc.Kind != "" {
+			t.Errorf("schema/kind = %q/%q, want %q with no kind", doc.Schema, doc.Kind, envelope.LitmusV1)
 		}
 	})
 

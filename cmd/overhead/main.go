@@ -5,14 +5,16 @@
 //
 // Usage:
 //
-//	overhead [-json]
+//	overhead [-json] [-server URL]
 //
 // With -json the comparison is emitted as a machine-readable document on
 // stdout (schema hic/v2, kind "storage") instead of the text table.
+// -server URL delegates the computation to a hicserve instance and
+// prints the fetched document — byte-identical to a local -json run.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,60 +22,32 @@ import (
 
 	hic "repro"
 	"repro/internal/cli"
-	"repro/internal/overhead"
-	"repro/internal/runner"
+	"repro/internal/serve"
 )
-
-// item is one storage structure in the JSON document.
-type item struct {
-	Name string `json:"name"`
-	Bits int64  `json:"bits"`
-}
-
-// document is the -json output of the storage comparison.
-type document struct {
-	Schema         string  `json:"schema"`
-	Kind           string  `json:"kind"`
-	Coherent       []item  `json:"coherent"`
-	Incoherent     []item  `json:"incoherent"`
-	CoherentBits   int64   `json:"coherent_bits"`
-	IncoherentBits int64   `json:"incoherent_bits"`
-	SavingsBits    int64   `json:"savings_bits"`
-	SavingsKB      float64 `json:"savings_kb"`
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("overhead: ")
-	f := cli.Register(flag.CommandLine, cli.FlagJSON)
+	f := cli.Register(flag.CommandLine, cli.FlagJSON|cli.FlagServer)
 	flag.Parse()
+	if err := f.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	if f.Server != "" {
+		req := serve.Request{Suite: "overhead"}
+		if _, err := f.RunRemote(context.Background(), req, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	rep := hic.StorageReport()
 	if !f.JSON {
 		fmt.Print(rep.Render())
 		return
 	}
-	doc := document{
-		Schema:         runner.SchemaV2,
-		Kind:           runner.KindStorage,
-		Coherent:       items(rep.Coherent),
-		Incoherent:     items(rep.Incoherent),
-		CoherentBits:   int64(rep.CoherentTotal()),
-		IncoherentBits: int64(rep.IncoherentTotal()),
-		SavingsBits:    int64(rep.Savings()),
-		SavingsKB:      rep.Savings().KB(),
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
+	if err := rep.Document().Encode(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-}
-
-func items(in []overhead.Item) []item {
-	out := make([]item, 0, len(in))
-	for _, i := range in {
-		out = append(out, item{Name: i.Name, Bits: int64(i.Bits)})
-	}
-	return out
 }

@@ -24,11 +24,11 @@ import (
 func TestSweepsAreCoherenceClean(t *testing.T) {
 	opts := DefaultRunOptions()
 	opts.CheckCoherence = true
-	intra, err := RunIntraBlockOpts(context.Background(), ScaleTest, opts)
+	intra, err := runIntraOpts(context.Background(), ScaleTest, opts)
 	if err != nil {
 		t.Fatalf("intra sweep under the oracle: %v", err)
 	}
-	inter, err := RunInterBlockOpts(context.Background(), ScaleTest, opts)
+	inter, err := runInterOpts(context.Background(), ScaleTest, opts)
 	if err != nil {
 		t.Fatalf("inter sweep under the oracle: %v", err)
 	}
@@ -50,7 +50,7 @@ var wantViolationClass = map[string]string{
 }
 
 func TestBuggyAnnotationDetectsEveryFaultClass(t *testing.T) {
-	rep, err := RunBuggyAnnotation(context.Background(), ScaleTest, DefaultRunOptions())
+	rep, err := RunBuggyAnnotation(context.Background(), ScaleTest)
 	if err != nil {
 		t.Fatalf("harness failure: %v", err)
 	}
@@ -92,7 +92,7 @@ func TestBuggyAnnotationDetectsEveryFaultClass(t *testing.T) {
 // not abandonment), and every cell that did complete must produce a
 // record byte-identical to the untimed reference sweep's.
 func TestTinyTimeoutSweepTerminatesCleanly(t *testing.T) {
-	ref, err := RunIntraBlockOpts(context.Background(), ScaleTest, RunOptions{Parallel: 4})
+	ref, err := runIntraOpts(context.Background(), ScaleTest, RunOptions{Parallel: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestTinyTimeoutSweepTerminatesCleanly(t *testing.T) {
 	timeout := time.Duration(walls[len(walls)/2]*float64(time.Millisecond)) + time.Millisecond/2
 
 	before := runtime.NumGoroutine()
-	res, _ := RunIntraBlockOpts(context.Background(), ScaleTest,
+	res, _ := runIntraOpts(context.Background(), ScaleTest,
 		RunOptions{Parallel: 4, Timeout: timeout})
 	if res == nil {
 		t.Fatal("partial result missing")

@@ -26,8 +26,8 @@ func TestSeededFaultSweepIsDeterministicAcrossWorkerCounts(t *testing.T) {
 	// Injected faults make cells fail with detected coherence violations;
 	// that is the experiment working, so the sweep error is expected and
 	// only the documents are compared.
-	serial, _ := RunIntraBlockOpts(context.Background(), ScaleTest, opts(1))
-	parallel, _ := RunIntraBlockOpts(context.Background(), ScaleTest, opts(8))
+	serial, _ := runIntraOpts(context.Background(), ScaleTest, opts(1))
+	parallel, _ := runIntraOpts(context.Background(), ScaleTest, opts(8))
 	sj := encodeDoc(t, serial.Document(ScaleTest))
 	pj := encodeDoc(t, parallel.Document(ScaleTest))
 	if !bytes.Equal(sj, pj) {
@@ -54,8 +54,8 @@ func TestSeededFaultSweepIsRepeatable(t *testing.T) {
 		CheckCoherence: true,
 		Faults:         "delay-wb@rand; seed=21",
 	}
-	a, _ := RunIntraBlockOpts(context.Background(), ScaleTest, opts)
-	b, _ := RunIntraBlockOpts(context.Background(), ScaleTest, opts)
+	a, _ := runIntraOpts(context.Background(), ScaleTest, opts)
+	b, _ := runIntraOpts(context.Background(), ScaleTest, opts)
 	if !bytes.Equal(encodeDoc(t, a.Document(ScaleTest)), encodeDoc(t, b.Document(ScaleTest))) {
 		t.Error("two identical seeded sweeps emitted different documents")
 	}
@@ -65,11 +65,11 @@ func TestOracleSweepIsDeterministicAcrossWorkerCounts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the inter sweep twice")
 	}
-	serial, err := RunInterBlockOpts(context.Background(), ScaleTest, RunOptions{Parallel: 1, CheckCoherence: true})
+	serial, err := runInterOpts(context.Background(), ScaleTest, RunOptions{Parallel: 1, CheckCoherence: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := RunInterBlockOpts(context.Background(), ScaleTest, RunOptions{Parallel: 8, CheckCoherence: true})
+	parallel, err := runInterOpts(context.Background(), ScaleTest, RunOptions{Parallel: 8, CheckCoherence: true})
 	if err != nil {
 		t.Fatal(err)
 	}

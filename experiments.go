@@ -13,6 +13,7 @@ import (
 	"repro/internal/apps/splash"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/envelope"
 	"repro/internal/faultinject"
 	"repro/internal/isa"
 	"repro/internal/obs"
@@ -124,6 +125,78 @@ type RunOptions struct {
 	// execution; cells with fault injection or a recorder attached
 	// degrade to the serial engine on their own.
 	BlockParallel bool
+	// Cache, when non-nil, is a content-addressed result cache: before a
+	// cell simulates, its runner.CellKey hash is looked up, and a hit
+	// returns the stored outcome with zero engine steps. Determinism
+	// makes hits exact — the key covers everything that can change the
+	// outcome (workload, config, topology, scale, fault plan, seed, the
+	// result-affecting options, and the code version), and orchestration
+	// options are excluded. Traced sweeps bypass the cache, and the
+	// Observer callback does not fire for cells served from it.
+	Cache runner.Cache
+	// Seed salts the cache key. Current workloads are deterministic and
+	// ignore it; it exists so stochastic workloads can join the
+	// content-addressing scheme, and so callers can force distinct
+	// addresses for otherwise-identical sweeps.
+	Seed int64
+}
+
+// cacheOptions is the result-affecting option subset that participates
+// in the cache key. Parallel/Timeout/Retries are excluded — they cannot
+// change a deterministic cell's bytes. "recording" is distinct from
+// "metrics" because merely attaching a recorder (an Observer without
+// Metrics) changes block-parallel degradation, and therefore the
+// record's degraded_to_serial field, without embedding a snapshot.
+func (o RunOptions) cacheOptions() map[string]string {
+	m := map[string]string{}
+	if o.CheckCoherence {
+		m["coherence"] = "1"
+	}
+	if o.Metrics {
+		m["metrics"] = "1"
+	}
+	if o.BlockParallel {
+		m["block_parallel"] = "1"
+	}
+	if o.recording() {
+		m["recording"] = "1"
+	}
+	return m
+}
+
+// cellKey builds the content address of one cell under these options.
+func (o RunOptions) cellKey(s Scale, topology, workload, config string) runner.CellKey {
+	return runner.CellKey{
+		Workload: workload, Config: config,
+		Topology: topology, Scale: s.Name(),
+		Faults: o.Faults, Seed: o.Seed,
+		Options:     o.cacheOptions(),
+		CodeVersion: runner.CodeVersion(),
+	}
+}
+
+// withCache wraps a task body with cache consultation: a hit returns
+// the stored outcome without building a hierarchy or stepping the
+// engine; a miss runs the body and stores a successful outcome. Traced
+// sweeps bypass the cache (timelines are a large local debugging
+// affordance), and failures always re-execute.
+func (o RunOptions) withCache(s Scale, topology string, t runner.Task) runner.Task {
+	if o.Cache == nil || o.Trace {
+		return t
+	}
+	key := o.cellKey(s, topology, t.Workload, t.Config).Hash()
+	body := t.Run
+	t.Run = func(ctx context.Context) (*runner.Outcome, error) {
+		if out, ok := o.Cache.Get(key); ok {
+			return out, nil
+		}
+		out, err := body(ctx)
+		if err == nil && out != nil {
+			o.Cache.Put(key, out)
+		}
+		return out, err
+	}
+	return t
 }
 
 // engage applies the block-parallel option to a freshly built hierarchy
@@ -302,7 +375,7 @@ func intraTasks(s Scale, opts RunOptions) []runner.Task {
 		}
 		for _, cfg := range IntraConfigs {
 			i, cfg := i, cfg
-			tasks = append(tasks, runner.Task{
+			tasks = append(tasks, opts.withCache(s, "intra", runner.Task{
 				Workload: w.Name,
 				Config:   cfg.Name,
 				Run: func(ctx context.Context) (*runner.Outcome, error) {
@@ -323,7 +396,7 @@ func intraTasks(s Scale, opts RunOptions) []runner.Task {
 					opts.finish(wl.Name, cfg.Name, rec, out)
 					return out, nil
 				},
-			})
+			}))
 		}
 	}
 	return tasks
@@ -333,18 +406,15 @@ func intraTasks(s Scale, opts RunOptions) []runner.Task {
 // II configuration and builds Figures 9 and 10, fanning the runs out
 // under DefaultRunOptions.
 func RunIntraBlock(s Scale) (*IntraResult, error) {
-	return RunIntraBlockOpts(context.Background(), s, DefaultRunOptions())
+	return runIntraOpts(context.Background(), s, DefaultRunOptions())
 }
 
-// RunIntraBlockOpts is RunIntraBlock under explicit orchestration
-// options. On failure it returns the joined per-cell errors together with
-// the partial result: applications whose HCC baseline succeeded still get
-// their figure groups, and Runs records every cell including the failed
-// ones.
-//
-// Deprecated: new code should use RunIntra with functional options; this
-// positional variant remains for existing callers.
-func RunIntraBlockOpts(ctx context.Context, s Scale, opts RunOptions) (*IntraResult, error) {
+// runIntraOpts is the struct-options form behind RunIntra and
+// RunIntraBlock. On failure it returns the joined per-cell errors
+// together with the partial result: applications whose HCC baseline
+// succeeded still get their figure groups, and Runs records every cell
+// including the failed ones.
+func runIntraOpts(ctx context.Context, s Scale, opts RunOptions) (*IntraResult, error) {
 	grid := runner.Run(ctx, intraTasks(s, opts), opts.runner())
 	res := &IntraResult{
 		Figure9:  &Figure{Title: "Figure 9: normalized execution time (intra-block)", Categories: []string{"inv", "wb", "lock", "barrier", "rest"}},
@@ -414,8 +484,8 @@ func RunIntraBlockOpts(ctx context.Context, s Scale, opts RunOptions) (*IntraRes
 // tooling.
 func (r *IntraResult) Document(s Scale) *runner.Document {
 	return &runner.Document{
-		Schema: runner.SchemaV2,
-		Kind:   runner.KindResults,
+		Schema: envelope.SchemaV2,
+		Kind:   envelope.KindResults,
 		Scale:  s.Name(),
 		Suite:  "intra",
 		Figures: []runner.Figure{
@@ -456,7 +526,7 @@ func interTasks(s Scale, opts RunOptions) []runner.Task {
 		}
 		for _, mode := range InterModes {
 			i, mode := i, mode
-			tasks = append(tasks, runner.Task{
+			tasks = append(tasks, opts.withCache(s, "inter", runner.Task{
 				Workload: w.Name,
 				Config:   mode.String(),
 				Run: func(ctx context.Context) (*runner.Outcome, error) {
@@ -480,7 +550,7 @@ func interTasks(s Scale, opts RunOptions) []runner.Task {
 					opts.finish(wl.Name, mode.String(), rec, out)
 					return out, nil
 				},
-			})
+			}))
 		}
 	}
 	return tasks
@@ -490,15 +560,12 @@ func interTasks(s Scale, opts RunOptions) []runner.Task {
 // II mode and builds Figures 11 and 12, fanning the runs out under
 // DefaultRunOptions.
 func RunInterBlock(s Scale) (*InterResult, error) {
-	return RunInterBlockOpts(context.Background(), s, DefaultRunOptions())
+	return runInterOpts(context.Background(), s, DefaultRunOptions())
 }
 
-// RunInterBlockOpts is RunInterBlock under explicit orchestration
-// options; error semantics match RunIntraBlockOpts.
-//
-// Deprecated: new code should use RunInter with functional options; this
-// positional variant remains for existing callers.
-func RunInterBlockOpts(ctx context.Context, s Scale, opts RunOptions) (*InterResult, error) {
+// runInterOpts is the struct-options form behind RunInter and
+// RunInterBlock; error semantics match runIntraOpts.
+func runInterOpts(ctx context.Context, s Scale, opts RunOptions) (*InterResult, error) {
 	grid := runner.Run(ctx, interTasks(s, opts), opts.runner())
 	res := &InterResult{
 		Figure11: &Figure{Title: "Figure 11: normalized global WB and INV counts", Categories: []string{"global-wb", "global-inv"}},
@@ -559,8 +626,8 @@ func RunInterBlockOpts(ctx context.Context, s Scale, opts RunOptions) (*InterRes
 // tooling.
 func (r *InterResult) Document(s Scale) *runner.Document {
 	return &runner.Document{
-		Schema: runner.SchemaV2,
-		Kind:   runner.KindResults,
+		Schema: envelope.SchemaV2,
+		Kind:   envelope.KindResults,
 		Scale:  s.Name(),
 		Suite:  "inter",
 		Figures: []runner.Figure{

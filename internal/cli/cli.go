@@ -18,6 +18,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ import (
 	hic "repro"
 	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/serve"
 )
 
 // Mask selects which shared flags a command registers.
@@ -64,15 +66,18 @@ const (
 	// FlagExplore is -enumerate, -k, and -dpor (systematic litmus
 	// enumeration and explorer selection).
 	FlagExplore
+	// FlagServer is -server (run the sweep on a hicserve instance and
+	// print the fetched document, byte-identical to a local -json run).
+	FlagServer
 
 	// SweepFlags is the full sweep-command set (hicsim).
 	SweepFlags = FlagScale | FlagParallel | FlagTimeout | FlagJSON | FlagTiming |
 		FlagSchema | FlagCheck | FlagCoherence | FlagFaults | FlagObs | FlagProfile |
-		FlagTopo
+		FlagTopo | FlagServer
 	// FigureFlags is the single-figure sweep set (intrablock, interblock):
 	// everything but the shapecheck gate, fault injection, and topology.
 	FigureFlags = FlagScale | FlagParallel | FlagTimeout | FlagJSON | FlagTiming |
-		FlagSchema | FlagCoherence | FlagObs | FlagProfile
+		FlagSchema | FlagCoherence | FlagObs | FlagProfile | FlagServer
 	// JSONFlags is the minimal machine-output set (litmus, overhead).
 	JSONFlags = FlagJSON | FlagSchema
 	// FuzzFlags is the fuzz-campaign set (hicfuzz): machine output plus
@@ -127,6 +132,11 @@ type Flags struct {
 	// DPOR selects the partial-order-reduction explorer (the default);
 	// false falls back to the exhaustive adjacent-swap explorer.
 	DPOR bool
+	// Server is a hicserve base URL; when set the sweep runs remotely
+	// and the fetched document is printed instead of computing locally.
+	Server string
+	// Tenant is the X-Hic-Tenant label sent with -server requests.
+	Tenant string
 }
 
 // Register installs the shared flags selected by mask on fs and returns
@@ -179,6 +189,10 @@ func Register(fs *flag.FlagSet, mask Mask) *Flags {
 		fs.IntVar(&f.K, "k", f.K, "op budget per enumerated program (with -enumerate)")
 		fs.BoolVar(&f.DPOR, "dpor", f.DPOR, "explore with dynamic partial-order reduction; -dpor=false uses the exhaustive adjacent-swap explorer")
 	}
+	if mask&FlagServer != 0 {
+		fs.StringVar(&f.Server, "server", "", "run on this hicserve base URL instead of locally (requires -json; bytes are identical)")
+		fs.StringVar(&f.Tenant, "tenant", "", "tenant label sent with -server requests")
+	}
 	return f
 }
 
@@ -211,15 +225,35 @@ func (f *Flags) Validate() error {
 	if f.K < 1 {
 		return fmt.Errorf("-k %d: want an op budget of at least 1", f.K)
 	}
+	if f.Server != "" {
+		// The server computes canonical documents; flags that change the
+		// output beyond what a Request can express (or that only make
+		// sense against a local process) cannot ride along.
+		switch {
+		case !f.JSON:
+			return fmt.Errorf("-server requires -json (the server returns the machine-readable document)")
+		case f.Timing:
+			return fmt.Errorf("-timing is incompatible with -server (served documents are canonical, wall times stripped)")
+		case f.TraceChrome != "":
+			return fmt.Errorf("-trace-chrome is incompatible with -server (stall timelines stay on the server)")
+		case f.CPUProfile != "" || f.MemProfile != "":
+			return fmt.Errorf("profiling flags are incompatible with -server (profile the server process instead)")
+		case f.Faults != "":
+			return fmt.Errorf("-faults is incompatible with -server (the robustness experiment runs locally only)")
+		case f.Check && f.SchemaV1():
+			return fmt.Errorf("-check with -server requires the v2 schema (the gate decodes the fetched document)")
+		}
+	}
 	return nil
 }
 
 // Tracing reports whether the command should retain stall timelines.
 func (f *Flags) Tracing() bool { return f.TraceChrome != "" }
 
-// Options converts the parsed flags to functional run options (the
-// fault plan is excluded: commands that run the fault matrix handle
-// -faults themselves).
+// Options converts the parsed flags to functional run options. A
+// -faults value other than "matrix" becomes a WithFaultPlan option
+// ("matrix" selects RunBuggyAnnotation's canonical per-class plans, so
+// it contributes no plan of its own).
 func (f *Flags) Options() []hic.Option {
 	opts := []hic.Option{
 		hic.WithParallel(f.Parallel),
@@ -227,6 +261,9 @@ func (f *Flags) Options() []hic.Option {
 	}
 	if f.CheckCoherence {
 		opts = append(opts, hic.WithCoherenceCheck())
+	}
+	if f.Faults != "" && f.Faults != "matrix" {
+		opts = append(opts, hic.WithFaultPlan(f.Faults))
 	}
 	if f.Metrics {
 		opts = append(opts, hic.WithMetrics())
@@ -240,15 +277,6 @@ func (f *Flags) Options() []hic.Option {
 	return opts
 }
 
-// RunOptions is Options in struct form, fault plan included.
-func (f *Flags) RunOptions() hic.RunOptions {
-	o := hic.NewRunOptions(f.Options()...)
-	if f.Faults != "" && f.Faults != "matrix" {
-		o.Faults = f.Faults
-	}
-	return o
-}
-
 // EncodeDoc writes a results document per the -schema and -timing flags:
 // the hic/v2 envelope by default, the legacy hic-results/v1 layout under
 // -schema v1, canonical (wall times stripped) unless -timing.
@@ -260,6 +288,40 @@ func (f *Flags) EncodeDoc(w io.Writer, doc *runner.Document) error {
 		return doc.EncodeTiming(w)
 	}
 	return doc.Encode(w)
+}
+
+// RunRemote completes req from the shared flags (-scale, -schema,
+// -check-coherence, -metrics, -block-parallel), runs it on the -server
+// instance — riding out 429 backpressure per the server's Retry-After
+// hints — and writes the fetched document bytes to w (skipped when w is
+// nil). The bytes are identical to the equivalent local -json run.
+func (f *Flags) RunRemote(ctx context.Context, req serve.Request, w io.Writer) ([]byte, error) {
+	if f.mask&FlagScale != 0 && req.Scale == "" {
+		req.Scale = f.Scale
+	}
+	if f.SchemaV1() {
+		req.Version = "v1"
+	}
+	if f.CheckCoherence {
+		req.Coherence = true
+	}
+	if f.Metrics {
+		req.Metrics = true
+	}
+	if f.BlockParallel {
+		req.BlockParallel = true
+	}
+	c := &serve.Client{BaseURL: f.Server, Tenant: f.Tenant}
+	data, err := c.Run(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if w != nil {
+		if _, err := w.Write(data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
 }
 
 // WriteTraces writes the sweep's stall timelines to the -trace-chrome

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	hic "repro"
+	"repro/internal/envelope"
 	"repro/internal/runner"
 )
 
@@ -125,7 +126,7 @@ func TestOptionsFlowIntoRunOptions(t *testing.T) {
 	f := parse(t, SweepFlags,
 		"-parallel", "5", "-timeout", "30s", "-check-coherence",
 		"-metrics", "-trace-chrome", "t.json", "-faults", "drop-wb@1")
-	o := f.RunOptions()
+	o := hic.NewRunOptions(f.Options()...)
 	if o.Parallel != 5 || o.Timeout != 30*time.Second {
 		t.Errorf("orchestration = %d/%s", o.Parallel, o.Timeout)
 	}
@@ -141,7 +142,7 @@ func TestOptionsFlowIntoRunOptions(t *testing.T) {
 	// "matrix" is a command-level mode, not a plan: it must not reach
 	// the options.
 	f2 := parse(t, SweepFlags, "-faults", "matrix")
-	if o2 := f2.RunOptions(); o2.Faults != "" {
+	if o2 := hic.NewRunOptions(f2.Options()...); o2.Faults != "" {
 		t.Errorf(`faults = %q, want "" for -faults matrix`, o2.Faults)
 	}
 }
@@ -168,7 +169,7 @@ func TestScaleValueRejectsUnknownScale(t *testing.T) {
 }
 
 func TestEncodeDocHonorsSchemaFlag(t *testing.T) {
-	doc := &runner.Document{Schema: runner.SchemaV2, Kind: runner.KindResults, Scale: "test", Suite: "intra"}
+	doc := &runner.Document{Schema: envelope.SchemaV2, Kind: envelope.KindResults, Scale: "test", Suite: "intra"}
 	v2 := parse(t, FigureFlags)
 	var buf bytes.Buffer
 	if err := v2.EncodeDoc(&buf, doc); err != nil {
@@ -178,7 +179,7 @@ func TestEncodeDocHonorsSchemaFlag(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Schema != runner.SchemaV2 || out.Kind != runner.KindResults {
+	if out.Schema != envelope.SchemaV2 || out.Kind != envelope.KindResults {
 		t.Errorf("default encode = %q/%q, want v2 envelope", out.Schema, out.Kind)
 	}
 	v1 := parse(t, FigureFlags, "-schema", "v1")
@@ -189,10 +190,10 @@ func TestEncodeDocHonorsSchemaFlag(t *testing.T) {
 	if out, err = runner.Decode(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if out.Schema != runner.SchemaVersion || out.Kind != "" {
+	if out.Schema != envelope.ResultsV1 || out.Kind != "" {
 		t.Errorf("-schema v1 encode = %q/%q, want legacy layout", out.Schema, out.Kind)
 	}
-	if doc.Schema != runner.SchemaV2 {
+	if doc.Schema != envelope.SchemaV2 {
 		t.Error("EncodeDoc mutated the caller's document")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/envelope"
 	"repro/internal/litmus"
 	"repro/internal/runner"
 )
@@ -65,10 +66,10 @@ type Detection struct {
 // Report is the campaign's machine-readable outcome, serialized under
 // the hic/v2 envelope with kind "fuzz".
 type Report struct {
-	Schema string `json:"schema"`
-	Kind   string `json:"kind"`
-	SeedLo uint64 `json:"seed_lo"`
-	SeedHi uint64 `json:"seed_hi"`
+	Schema string        `json:"schema"`
+	Kind   envelope.Kind `json:"kind"`
+	SeedLo uint64        `json:"seed_lo"`
+	SeedHi uint64        `json:"seed_hi"`
 	// Programs and Mutants count what actually ran (budget-skipped
 	// seeds excluded); Cells and SkippedCells count (seed, config)
 	// tasks.
@@ -158,8 +159,8 @@ func Campaign(ctx context.Context, opts Options) (*Report, error) {
 	grid := runner.Run(ctx, tasks, runner.Options{Parallel: opts.Parallel})
 
 	rep := &Report{
-		Schema:       runner.SchemaV2,
-		Kind:         runner.KindFuzz,
+		Schema:       envelope.SchemaV2,
+		Kind:         envelope.KindFuzz,
 		SeedLo:       opts.SeedLo,
 		SeedHi:       opts.SeedHi,
 		Programs:     agg.programs,

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/envelope"
 	"repro/internal/litmus"
 	"repro/internal/runner"
 )
@@ -43,7 +44,7 @@ func TestCampaignAcceptance(t *testing.T) {
 	if err != nil {
 		t.Fatalf("campaign failed: %v", err)
 	}
-	if rep.Schema != runner.SchemaV2 || rep.Kind != runner.KindFuzz {
+	if rep.Schema != envelope.SchemaV2 || rep.Kind != envelope.KindFuzz {
 		t.Fatalf("report envelope = %s/%s", rep.Schema, rep.Kind)
 	}
 	if want := int(hi - 1); rep.Programs != want {

@@ -3,11 +3,12 @@ package obs
 import (
 	"sort"
 
+	"repro/internal/envelope"
 	"repro/internal/stats"
 )
 
 // MetricsSchema identifies the metrics snapshot format.
-const MetricsSchema = "hic-metrics/v1"
+const MetricsSchema = envelope.MetricsV1
 
 // Snapshot is one run's metrics in exportable form. It is deterministic:
 // map keys serialize sorted (encoding/json), every value derives from

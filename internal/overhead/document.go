@@ -1,0 +1,61 @@
+// The machine-readable document of the storage comparison, shared by
+// the overhead CLI and the sweep server.
+
+package overhead
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/envelope"
+)
+
+// DocItem is one storage structure in the JSON document.
+type DocItem struct {
+	Name string `json:"name"`
+	Bits int64  `json:"bits"`
+}
+
+// Document is the machine-readable storage comparison (schema hic/v2,
+// kind "storage"). It has no v1 layout: the storage kind postdates the
+// v2 envelope.
+type Document struct {
+	Schema         string        `json:"schema"`
+	Kind           envelope.Kind `json:"kind"`
+	Coherent       []DocItem     `json:"coherent"`
+	Incoherent     []DocItem     `json:"incoherent"`
+	CoherentBits   int64         `json:"coherent_bits"`
+	IncoherentBits int64         `json:"incoherent_bits"`
+	SavingsBits    int64         `json:"savings_bits"`
+	SavingsKB      float64       `json:"savings_kb"`
+}
+
+// Document converts the report to its wire form.
+func (r *Report) Document() *Document {
+	return &Document{
+		Schema:         envelope.SchemaV2,
+		Kind:           envelope.KindStorage,
+		Coherent:       docItems(r.Coherent),
+		Incoherent:     docItems(r.Incoherent),
+		CoherentBits:   int64(r.CoherentTotal()),
+		IncoherentBits: int64(r.IncoherentTotal()),
+		SavingsBits:    int64(r.Savings()),
+		SavingsKB:      r.Savings().KB(),
+	}
+}
+
+func docItems(in []Item) []DocItem {
+	out := make([]DocItem, 0, len(in))
+	for _, i := range in {
+		out = append(out, DocItem{Name: i.Name, Bits: int64(i.Bits)})
+	}
+	return out
+}
+
+// Encode writes the document as indented JSON with a trailing newline,
+// the canonical wire form shared by the CLI and the server.
+func (d *Document) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

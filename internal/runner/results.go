@@ -16,43 +16,22 @@ import (
 	"errors"
 	"io"
 
+	"repro/internal/envelope"
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
-// SchemaVersion identifies the legacy document layout; bump on
-// incompatible changes so shape-checkers can reject documents they do
-// not understand.
-const SchemaVersion = "hic-results/v1"
-
-// SchemaV2 is the unified versioned envelope: every JSON artifact the
-// tools emit (sweep results, litmus documents, metrics snapshots)
-// carries {"schema": "hic/v2", "kind": "..."} so consumers dispatch on
-// one field pair instead of per-tool schema strings. LegacyV1 converts
-// a results document back to the v1 layout for old consumers.
-const SchemaV2 = "hic/v2"
-
-// The document kinds of the hic/v2 envelope.
-const (
-	// KindResults is a sweep results document (this package's Document).
-	KindResults = "results"
-	// KindLitmus is a litmus-test document (cmd/litmus).
-	KindLitmus = "litmus"
-	// KindMetrics is a standalone observability snapshot (internal/obs).
-	KindMetrics = "metrics"
-	// KindStorage is the Section VII-A storage report (cmd/overhead).
-	KindStorage = "storage"
-	// KindFuzz is the annotation-mutation fuzz campaign report
-	// (cmd/hicfuzz).
-	KindFuzz = "fuzz"
-)
-
-// Document is the machine-readable outcome of one or more sweeps.
+// Document is the machine-readable outcome of one or more sweeps. The
+// envelope pair (schema, kind) is defined once in internal/envelope;
+// LegacyV1 converts a document back to the pre-envelope hic-results/v1
+// layout for old consumers.
 type Document struct {
-	// Schema is SchemaV2 (or SchemaVersion for legacy documents).
+	// Schema is envelope.SchemaV2 (or envelope.ResultsV1 for legacy
+	// documents).
 	Schema string `json:"schema"`
-	// Kind is KindResults under the v2 envelope; empty in v1 documents.
-	Kind string `json:"kind,omitempty"`
+	// Kind is envelope.KindResults under the v2 envelope; empty in v1
+	// documents.
+	Kind envelope.Kind `json:"kind,omitempty"`
 	// Scale names the problem scale the sweep ran at ("test", "bench").
 	Scale string `json:"scale"`
 	// Suite names what ran: "intra", "inter", or "all".
@@ -198,7 +177,7 @@ func (g *Grid) Records() []RunRecord {
 // and the per-run metrics snapshots (fields v1 never had) are stripped.
 func (d *Document) LegacyV1() *Document {
 	legacy := *d
-	legacy.Schema = SchemaVersion
+	legacy.Schema = envelope.ResultsV1
 	legacy.Kind = ""
 	legacy.Runs = make([]RunRecord, len(d.Runs))
 	copy(legacy.Runs, d.Runs)
@@ -211,7 +190,7 @@ func (d *Document) LegacyV1() *Document {
 // Merge combines documents into one (suite "all"): figures and runs are
 // concatenated in argument order; scale is taken from the first document.
 func Merge(docs ...*Document) *Document {
-	out := &Document{Schema: SchemaV2, Kind: KindResults, Suite: "all"}
+	out := &Document{Schema: envelope.SchemaV2, Kind: envelope.KindResults, Suite: "all"}
 	for i, d := range docs {
 		if i == 0 {
 			out.Scale = d.Scale

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/envelope"
 	"repro/internal/stats"
 )
 
@@ -73,7 +74,7 @@ func TestSerialAndParallelEmitIdenticalJSON(t *testing.T) {
 		if err := g.Err(); err != nil {
 			t.Fatal(err)
 		}
-		d := &Document{Schema: SchemaVersion, Scale: "test", Suite: "intra", Runs: g.Records()}
+		d := &Document{Schema: envelope.ResultsV1, Scale: "test", Suite: "intra", Runs: g.Records()}
 		var buf bytes.Buffer
 		if err := d.Encode(&buf); err != nil {
 			t.Fatal(err)
@@ -218,7 +219,7 @@ func TestRecordsCarryMetricsAndErrors(t *testing.T) {
 
 func TestEncodeStripsWallTimeAndRoundTrips(t *testing.T) {
 	g := Run(context.Background(), sweepTasks(), Options{Parallel: 1})
-	d := &Document{Schema: SchemaVersion, Scale: "test", Suite: "intra", Runs: g.Records()}
+	d := &Document{Schema: envelope.ResultsV1, Scale: "test", Suite: "intra", Runs: g.Records()}
 	var canon, timed bytes.Buffer
 	if err := d.Encode(&canon); err != nil {
 		t.Fatal(err)
@@ -237,7 +238,7 @@ func TestEncodeStripsWallTimeAndRoundTrips(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Schema != SchemaVersion || len(back.Runs) != len(d.Runs) {
+	if back.Schema != envelope.ResultsV1 || len(back.Runs) != len(d.Runs) {
 		t.Errorf("round trip lost data: %+v", back)
 	}
 	if back.Runs[0].Cycles != d.Runs[0].Cycles {
@@ -246,10 +247,10 @@ func TestEncodeStripsWallTimeAndRoundTrips(t *testing.T) {
 }
 
 func TestMergeAndFigureByID(t *testing.T) {
-	a := &Document{Schema: SchemaVersion, Scale: "test", Suite: "intra",
+	a := &Document{Schema: envelope.ResultsV1, Scale: "test", Suite: "intra",
 		Figures: []Figure{{ID: "figure9"}, {ID: "figure10"}},
 		Runs:    []RunRecord{{Workload: "fft", Config: "HCC"}}}
-	b := &Document{Schema: SchemaVersion, Scale: "test", Suite: "inter",
+	b := &Document{Schema: envelope.ResultsV1, Scale: "test", Suite: "inter",
 		Figures: []Figure{{ID: "figure11"}, {ID: "figure12"}},
 		Runs:    []RunRecord{{Workload: "ep", Config: "Addr"}}}
 	m := Merge(a, b)

@@ -1,0 +1,492 @@
+// The sweep request model: a normalized, validated description of one
+// document-producing run (the same runs the CLIs perform), plus its
+// content address and its local computation. Normalization is strict —
+// fields that do not apply to the requested suite are rejected rather
+// than ignored, so two requests that would compute identical bytes
+// never hash to different addresses because of an inert field.
+
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	hic "repro"
+	"repro/internal/envelope"
+	"repro/internal/faultinject"
+	"repro/internal/litmus"
+	"repro/internal/overhead"
+	"repro/internal/runner"
+)
+
+// Request describes one sweep. The zero value is invalid: Suite is
+// required, and Normalize must succeed before Key or the computation
+// are meaningful.
+type Request struct {
+	// Suite selects what runs: "intra", "inter", "all", or "manycore"
+	// (kind results), "litmus" (kind litmus), or "overhead" (kind
+	// storage).
+	Suite string `json:"suite"`
+	// Scale is the problem scale ("test" or "bench"; default "test").
+	// Simulation suites only.
+	Scale string `json:"scale,omitempty"`
+	// Version negotiates the envelope: "", "v2", or "hic/v2" for the
+	// canonical v2 envelope, "v1" for the legacy per-kind layout
+	// (rejected for kinds that predate no envelope, e.g. storage).
+	Version string `json:"version,omitempty"`
+	// Workloads restricts a simulation sweep to the named applications
+	// (sorted and deduplicated by Normalize; unknown names are
+	// rejected).
+	Workloads []string `json:"workloads,omitempty"`
+	// Coherence attaches the shadow-memory oracle to every run.
+	Coherence bool `json:"coherence,omitempty"`
+	// Metrics embeds per-run observability snapshots in the records.
+	Metrics bool `json:"metrics,omitempty"`
+	// BlockParallel runs each simulation on the block-parallel engine.
+	BlockParallel bool `json:"block_parallel,omitempty"`
+	// Faults is a deterministic fault plan (internal/faultinject
+	// grammar), canonicalized by Normalize.
+	Faults string `json:"faults,omitempty"`
+	// Seed salts the content address (see hic.WithSeed).
+	Seed int64 `json:"seed,omitempty"`
+	// Blocks and CoresPerBlock shape the manycore sweep (suite
+	// "manycore" only; CoresPerBlock defaults to 8).
+	Blocks        int `json:"blocks,omitempty"`
+	CoresPerBlock int `json:"cores_per_block,omitempty"`
+	// Test and Config restrict the litmus suite matrix (suite "litmus"
+	// only).
+	Test   string `json:"test,omitempty"`
+	Config string `json:"config,omitempty"`
+	// Budget and MaxSchedules bound each litmus exploration (0 means
+	// the explorer's defaults).
+	Budget       int `json:"budget,omitempty"`
+	MaxSchedules int `json:"max_schedules,omitempty"`
+	// Swap selects the exhaustive adjacent-swap explorer instead of
+	// DPOR.
+	Swap bool `json:"swap,omitempty"`
+	// Enumerate sweeps the systematic litmus enumeration up to K ops
+	// instead of the curated suite.
+	Enumerate bool `json:"enumerate,omitempty"`
+	K         int  `json:"k,omitempty"`
+}
+
+// Kind is the envelope kind of the document the request produces.
+func (r *Request) Kind() envelope.Kind {
+	switch r.Suite {
+	case "litmus":
+		return envelope.KindLitmus
+	case "overhead":
+		return envelope.KindStorage
+	default:
+		return envelope.KindResults
+	}
+}
+
+// simulation reports whether the suite runs the experiment sweeps (as
+// opposed to the litmus explorer or the storage computation).
+func (r *Request) simulation() bool {
+	switch r.Suite {
+	case "intra", "inter", "all", "manycore":
+		return true
+	}
+	return false
+}
+
+// Normalize fills defaults, canonicalizes spellings, and validates; the
+// request is ready for Key and computation afterward. Errors are safe
+// to return to clients.
+func (r *Request) Normalize() error {
+	gen, err := envelope.Negotiate(r.Version)
+	if err != nil {
+		return err
+	}
+	if gen == envelope.V1 {
+		if r.Kind().V1Schema() == "" {
+			return fmt.Errorf("suite %s has no v1 layout (kind %s postdates the v2 envelope)", r.Suite, r.Kind())
+		}
+		r.Version = "v1"
+	} else {
+		r.Version = "v2"
+	}
+
+	switch {
+	case r.simulation():
+		if r.Scale == "" {
+			r.Scale = "test"
+		}
+		if r.Scale != "test" && r.Scale != "bench" {
+			return fmt.Errorf("unknown scale %q (want test or bench)", r.Scale)
+		}
+		if r.Suite == "manycore" {
+			if r.Blocks < 1 {
+				return fmt.Errorf("suite manycore requires blocks >= 1")
+			}
+			if r.CoresPerBlock == 0 {
+				r.CoresPerBlock = hic.DefaultManycoreCoresPerBlock
+			}
+			if r.CoresPerBlock < 1 {
+				return fmt.Errorf("cores_per_block %d: want at least 1", r.CoresPerBlock)
+			}
+		} else if r.Blocks != 0 || r.CoresPerBlock != 0 {
+			return fmt.Errorf("blocks and cores_per_block apply to suite manycore only")
+		}
+		if r.Test != "" || r.Config != "" || r.Budget != 0 || r.MaxSchedules != 0 ||
+			r.Swap || r.Enumerate || r.K != 0 {
+			return fmt.Errorf("litmus parameters apply to suite litmus only")
+		}
+		if err := r.normalizeWorkloads(); err != nil {
+			return err
+		}
+		if r.Faults != "" {
+			plan, err := faultinject.Parse(r.Faults)
+			if err != nil {
+				return fmt.Errorf("faults: %w", err)
+			}
+			r.Faults = plan.String()
+		}
+	case r.Suite == "litmus":
+		if err := r.rejectSimulationFields(); err != nil {
+			return err
+		}
+		if r.Enumerate {
+			if r.Test != "" {
+				return fmt.Errorf("test applies to the curated suite, not -enumerate")
+			}
+			if r.K == 0 {
+				r.K = 4
+			}
+			if r.K < 1 {
+				return fmt.Errorf("k %d: want an op budget of at least 1", r.K)
+			}
+		} else {
+			// K is inert without Enumerate; canonicalize instead of
+			// branding equal computations with different addresses.
+			r.K = 0
+			if r.Test != "" {
+				if _, ok := litmus.SuiteTest(r.Test); !ok {
+					return fmt.Errorf("unknown litmus test %q", r.Test)
+				}
+			}
+		}
+		if r.Config != "" {
+			if _, ok := litmus.ConfigByName(r.Config); !ok {
+				return fmt.Errorf("unknown litmus config %q", r.Config)
+			}
+		}
+		if r.Budget < 0 || r.MaxSchedules < 0 {
+			return fmt.Errorf("budget and max_schedules must be non-negative")
+		}
+	case r.Suite == "overhead":
+		if err := r.rejectSimulationFields(); err != nil {
+			return err
+		}
+		if r.Test != "" || r.Config != "" || r.Budget != 0 || r.MaxSchedules != 0 ||
+			r.Swap || r.Enumerate || r.K != 0 {
+			return fmt.Errorf("litmus parameters apply to suite litmus only")
+		}
+	default:
+		return fmt.Errorf("unknown suite %q (want intra, inter, all, manycore, litmus, or overhead)", r.Suite)
+	}
+	return nil
+}
+
+// rejectSimulationFields refuses sweep-only fields on non-simulation
+// suites.
+func (r *Request) rejectSimulationFields() error {
+	if r.Scale != "" {
+		return fmt.Errorf("scale applies to simulation suites only")
+	}
+	if len(r.Workloads) > 0 || r.Coherence || r.Metrics || r.BlockParallel ||
+		r.Faults != "" || r.Seed != 0 || r.Blocks != 0 || r.CoresPerBlock != 0 {
+		return fmt.Errorf("simulation parameters apply to suites intra, inter, all, and manycore only")
+	}
+	return nil
+}
+
+// normalizeWorkloads sorts, deduplicates, and validates the workload
+// filter against the suite's applications.
+func (r *Request) normalizeWorkloads() error {
+	if len(r.Workloads) == 0 {
+		r.Workloads = nil
+		return nil
+	}
+	known := map[string]bool{}
+	for _, n := range r.workloadNames() {
+		known[n] = true
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, w := range r.Workloads {
+		if !known[w] {
+			return fmt.Errorf("unknown workload %q for suite %s", w, r.Suite)
+		}
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	r.Workloads = out
+	return nil
+}
+
+// workloadNames lists the applications the suite can run.
+func (r *Request) workloadNames() []string {
+	var names []string
+	s := r.scale()
+	if r.Suite == "intra" || r.Suite == "all" {
+		for _, w := range hic.IntraWorkloads(s) {
+			names = append(names, w.Name)
+		}
+	}
+	if r.Suite == "inter" || r.Suite == "all" {
+		for _, w := range hic.InterWorkloads(s) {
+			names = append(names, w.Name)
+		}
+	}
+	if r.Suite == "manycore" {
+		for _, w := range hic.ManycoreWorkloads(s, r.CoresPerBlock) {
+			names = append(names, w.Name)
+		}
+	}
+	return names
+}
+
+func (r *Request) scale() hic.Scale {
+	if r.Scale == "bench" {
+		return hic.ScaleBench
+	}
+	return hic.ScaleTest
+}
+
+// keyEnvelope is what the content address hashes: the normalized
+// request plus the code version, so a new simulator build never reuses
+// old bytes.
+type keyEnvelope struct {
+	Request
+	CodeVersion string `json:"code_version"`
+}
+
+// Key returns the request's content address: the hex SHA-256 of the
+// canonical JSON of the normalized request and the code version.
+// Tenant identity is deliberately absent — identical requests from
+// different tenants share bytes.
+func (r *Request) Key() string {
+	b, err := json.Marshal(keyEnvelope{Request: *r, CodeVersion: runner.CodeVersion()})
+	if err != nil {
+		panic(fmt.Sprintf("serve: request marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// computeEnv is the server-side execution context of one request: the
+// orchestration the tenant does not control.
+type computeEnv struct {
+	// Parallel and Timeout are the server's per-sweep worker count and
+	// per-run bound.
+	Parallel int
+	Timeout  time.Duration
+	// Cells is the shared cell-level result cache (nil disables it).
+	Cells runner.Cache
+	// Observer, when non-nil, receives each completed simulation cell
+	// for live progress. It is not attached to block-parallel sweeps
+	// (a recorder would degrade them to serial execution) and does not
+	// fire for cells served from the cell cache.
+	Observer func(workload, config string)
+}
+
+// options converts the request and environment to run options.
+func (r *Request) options(env computeEnv) []hic.Option {
+	opts := []hic.Option{
+		hic.WithParallel(env.Parallel),
+		hic.WithTimeout(env.Timeout),
+	}
+	if len(r.Workloads) > 0 {
+		opts = append(opts, hic.WithOnly(r.Workloads...))
+	}
+	if r.Coherence {
+		opts = append(opts, hic.WithCoherenceCheck())
+	}
+	if r.Metrics {
+		opts = append(opts, hic.WithMetrics())
+	}
+	if r.BlockParallel {
+		opts = append(opts, hic.WithBlockParallel())
+	}
+	if r.Faults != "" {
+		opts = append(opts, hic.WithFaultPlan(r.Faults))
+	}
+	if r.Seed != 0 {
+		opts = append(opts, hic.WithSeed(r.Seed))
+	}
+	if env.Cells != nil {
+		opts = append(opts, hic.WithCache(env.Cells))
+	}
+	if env.Observer != nil && !r.BlockParallel {
+		done := env.Observer
+		opts = append(opts, hic.WithObserver(func(w, c string, _ *hic.Recorder) { done(w, c) }))
+	}
+	return opts
+}
+
+// compute runs the request locally and returns the canonical document
+// bytes — exactly what the equivalent CLI invocation writes to stdout.
+func (r *Request) compute(ctx context.Context, env computeEnv) ([]byte, error) {
+	var buf bytes.Buffer
+	switch {
+	case r.simulation():
+		doc, err := r.sweepDocument(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		if r.Version == "v1" {
+			doc = doc.LegacyV1()
+		}
+		if err := doc.Encode(&buf); err != nil {
+			return nil, err
+		}
+	case r.Suite == "litmus":
+		doc, err := r.litmusDocument()
+		if err != nil {
+			return nil, err
+		}
+		if r.Version == "v1" {
+			doc = doc.LegacyV1()
+		}
+		if err := doc.Encode(&buf); err != nil {
+			return nil, err
+		}
+	default: // overhead
+		if err := overhead.Compute(overhead.PaperMachine()).Document().Encode(&buf); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// sweepDocument runs the simulation suites.
+func (r *Request) sweepDocument(ctx context.Context, env computeEnv) (*runner.Document, error) {
+	s := r.scale()
+	opts := r.options(env)
+	switch r.Suite {
+	case "intra":
+		res, err := hic.RunIntra(ctx, s, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return res.Document(s), nil
+	case "inter":
+		res, err := hic.RunInter(ctx, s, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return res.Document(s), nil
+	case "all":
+		intra, err := hic.RunIntra(ctx, s, opts...)
+		if err != nil {
+			return nil, err
+		}
+		inter, err := hic.RunInter(ctx, s, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return runner.Merge(intra.Document(s), inter.Document(s)), nil
+	default: // manycore
+		res, err := hic.RunManycore(ctx, s, hic.ManycoreBlockCounts(r.Blocks), r.CoresPerBlock, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return res.Document(s), nil
+	}
+}
+
+// litmusDocument runs the litmus suite or enumeration.
+func (r *Request) litmusDocument() (*litmus.Document, error) {
+	tests := litmus.Suite
+	if r.Test != "" {
+		t, _ := litmus.SuiteTest(r.Test) // validated by Normalize
+		tests = []litmus.Test{t}
+	}
+	configs := litmus.Configs
+	if r.Config != "" {
+		c, _ := litmus.ConfigByName(r.Config)
+		configs = []litmus.Config{c}
+	}
+	opts := litmus.Options{Budget: r.Budget, MaxSchedules: r.MaxSchedules}
+	if r.Swap {
+		opts.Algo = litmus.AlgoSwap
+	}
+	if r.Enumerate {
+		return litmus.EnumerateDocument(configs, r.K, opts), nil
+	}
+	return litmus.SuiteDocument(tests, configs, opts)
+}
+
+// wantsWorkload mirrors the sweeps' Only filter.
+func (r *Request) wantsWorkload(name string) bool {
+	if len(r.Workloads) == 0 {
+		return true
+	}
+	for _, w := range r.Workloads {
+		if w == name {
+			return true
+		}
+	}
+	return false
+}
+
+// cells predicts the sweep's (workload, config) labels in task order,
+// for per-cell progress. Non-simulation suites have no cells.
+func (r *Request) cells() [][2]string {
+	if !r.simulation() {
+		return nil
+	}
+	s := r.scale()
+	var out [][2]string
+	if r.Suite == "intra" || r.Suite == "all" {
+		for _, w := range hic.IntraWorkloads(s) {
+			if !r.wantsWorkload(w.Name) {
+				continue
+			}
+			for _, cfg := range hic.IntraConfigs {
+				out = append(out, [2]string{w.Name, cfg.Name})
+			}
+		}
+	}
+	if r.Suite == "inter" || r.Suite == "all" {
+		for _, w := range hic.InterWorkloads(s) {
+			if !r.wantsWorkload(w.Name) {
+				continue
+			}
+			for _, mode := range hic.InterModes {
+				out = append(out, [2]string{w.Name, mode.String()})
+			}
+		}
+	}
+	if r.Suite == "manycore" {
+		for _, w := range hic.ManycoreWorkloads(s, r.CoresPerBlock) {
+			if !r.wantsWorkload(w.Name) {
+				continue
+			}
+			for b := 1; b <= r.Blocks; b *= 2 {
+				out = append(out, [2]string{w.Name, fmt.Sprintf("blocks-%d", b)})
+			}
+		}
+		// The manycore sweep sorts its tasks by (workload, config) for
+		// deterministic records; mirror it.
+		sort.Slice(out, func(i, j int) bool {
+			if out[i][0] != out[j][0] {
+				return out[i][0] < out[j][0]
+			}
+			return out[i][1] < out[j][1]
+		})
+	}
+	return out
+}

@@ -26,6 +26,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/envelope"
 	"repro/internal/runner"
 )
 
@@ -79,15 +80,15 @@ func Check(doc *runner.Document) []Violation {
 	// layout and the unified hic/v2 envelope with kind "results" (any
 	// other kind is not a results document and cannot be shape-checked).
 	switch doc.Schema {
-	case runner.SchemaVersion:
-	case runner.SchemaV2:
-		if doc.Kind != runner.KindResults {
+	case envelope.ResultsV1:
+	case envelope.SchemaV2:
+		if doc.Kind != envelope.KindResults {
 			return []Violation{{Figure: "document", Rule: "document kind",
-				Detail: fmt.Sprintf("got %q, want %q", doc.Kind, runner.KindResults)}}
+				Detail: fmt.Sprintf("got %q, want %q", doc.Kind, envelope.KindResults)}}
 		}
 	default:
 		return []Violation{{Figure: "document", Rule: "schema version",
-			Detail: fmt.Sprintf("got %q, want %q or %q", doc.Schema, runner.SchemaV2, runner.SchemaVersion)}}
+			Detail: fmt.Sprintf("got %q, want %q or %q", doc.Schema, envelope.SchemaV2, envelope.ResultsV1)}}
 	}
 	vs = append(vs, checkRuns(doc)...)
 	if f := doc.FigureByID("figure9"); f != nil {

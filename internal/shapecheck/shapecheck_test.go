@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/envelope"
 	"repro/internal/runner"
 )
 
@@ -43,7 +44,7 @@ func goodDoc() *runner.Document {
 		}})
 	}
 	return &runner.Document{
-		Schema:  runner.SchemaVersion,
+		Schema:  envelope.ResultsV1,
 		Scale:   "test",
 		Suite:   "all",
 		Figures: []runner.Figure{f9, f10, f11, f12},

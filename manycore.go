@@ -7,6 +7,7 @@ import (
 	"repro/internal/apps/jacobi"
 	"repro/internal/apps/nas"
 	"repro/internal/compiler"
+	"repro/internal/envelope"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/topo"
@@ -90,7 +91,7 @@ func manycoreTasks(s Scale, blockCounts []int, coresPerBlock int, opts RunOption
 		name := name
 		for _, blocks := range blockCounts {
 			blocks := blocks
-			tasks = append(tasks, runner.Task{
+			tasks = append(tasks, opts.withCache(s, fmt.Sprintf("manycore/%d", coresPerBlock), runner.Task{
 				Workload: name,
 				Config:   manycoreConfig(blocks),
 				Run: func(ctx context.Context) (*runner.Outcome, error) {
@@ -117,7 +118,7 @@ func manycoreTasks(s Scale, blockCounts []int, coresPerBlock int, opts RunOption
 					opts.finish(name, manycoreConfig(blocks), rec, out)
 					return out, nil
 				},
-			})
+			}))
 		}
 	}
 	// Map iteration order is random; the runner keys cells, but Runs is
@@ -144,12 +145,13 @@ func sortTasks(tasks []runner.Task) {
 // block counts (nil means 1..128) with coresPerBlock cores per block
 // (<= 0 means 8), under functional options.
 func RunManycore(ctx context.Context, s Scale, blockCounts []int, coresPerBlock int, opts ...Option) (*ManycoreResult, error) {
-	return RunManycoreOpts(ctx, s, blockCounts, coresPerBlock, NewRunOptions(opts...))
+	return runManycoreOpts(ctx, s, blockCounts, coresPerBlock, NewRunOptions(opts...))
 }
 
-// RunManycoreOpts is RunManycore under explicit options; error semantics
-// match the other sweeps (partial results plus joined per-cell errors).
-func RunManycoreOpts(ctx context.Context, s Scale, blockCounts []int, coresPerBlock int, opts RunOptions) (*ManycoreResult, error) {
+// runManycoreOpts is the struct-options form behind RunManycore; error
+// semantics match the other sweeps (partial results plus joined per-cell
+// errors).
+func runManycoreOpts(ctx context.Context, s Scale, blockCounts []int, coresPerBlock int, opts RunOptions) (*ManycoreResult, error) {
 	if len(blockCounts) == 0 {
 		blockCounts = ManycoreBlockCounts(128)
 	}
@@ -201,8 +203,8 @@ func RunManycoreOpts(ctx context.Context, s Scale, blockCounts []int, coresPerBl
 // tooling.
 func (r *ManycoreResult) Document(s Scale) *runner.Document {
 	return &runner.Document{
-		Schema: runner.SchemaV2,
-		Kind:   runner.KindResults,
+		Schema: envelope.SchemaV2,
+		Kind:   envelope.KindResults,
 		Scale:  s.Name(),
 		Suite:  "manycore",
 		Figures: []runner.Figure{

@@ -8,9 +8,9 @@ package hic
 //		hic.WithMetrics(),
 //		hic.WithObserver(func(w, c string, rec *hic.Recorder) { ... }))
 //
-// instead of filling a RunOptions literal; the positional entry points
-// (RunIntraBlockOpts, RunInterBlockOpts) remain for existing callers but
-// are deprecated in favor of these.
+// instead of filling a RunOptions literal. The deprecated positional
+// *Opts entry points are gone; RunOptions itself remains the
+// documentation of what the options control.
 
 import (
 	"context"
@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/runner"
 )
 
 // Recorder is the observability recorder a WithObserver callback
@@ -30,6 +31,16 @@ type MetricsSnapshot = obs.Snapshot
 // CellTrace is one cell's labeled stall timeline, ready for
 // obs.WriteChrome.
 type CellTrace = obs.CellTrace
+
+// Cache is a content-addressed sweep result cache (re-exported from
+// internal/runner); see WithCache.
+type Cache = runner.Cache
+
+// MemCache is the in-memory Cache with hit/miss accounting.
+type MemCache = runner.MemCache
+
+// NewMemCache returns an empty in-memory result cache for WithCache.
+func NewMemCache() *MemCache { return runner.NewMemCache() }
 
 // Option configures a sweep or a Run call.
 type Option func(*RunOptions)
@@ -108,17 +119,33 @@ func WithBlockParallel() Option {
 	return func(o *RunOptions) { o.BlockParallel = true }
 }
 
+// WithCache attaches a content-addressed result cache to the sweep:
+// cells whose runner.CellKey hash is already stored return the cached
+// outcome with zero engine steps. Determinism makes hits exact. See
+// RunOptions.Cache for the keying discipline.
+func WithCache(c runner.Cache) Option {
+	return func(o *RunOptions) { o.Cache = c }
+}
+
+// WithSeed salts the cache key (see RunOptions.Seed); it does not
+// change results for the current, deterministic workloads.
+func WithSeed(seed int64) Option {
+	return func(o *RunOptions) { o.Seed = seed }
+}
+
 // RunIntra executes the intra-block sweep (Figures 9 and 10) at scale s
-// under the given options; it is the options form of RunIntraBlockOpts
-// and shares its partial-result error semantics.
+// under the given options. On failure it returns the joined per-cell
+// errors together with the partial result: applications whose HCC
+// baseline succeeded still get their figure groups, and Runs records
+// every cell including the failed ones.
 func RunIntra(ctx context.Context, s Scale, opts ...Option) (*IntraResult, error) {
-	return RunIntraBlockOpts(ctx, s, NewRunOptions(opts...))
+	return runIntraOpts(ctx, s, NewRunOptions(opts...))
 }
 
 // RunInter executes the inter-block sweep (Figures 11 and 12) at scale s
-// under the given options; it is the options form of RunInterBlockOpts.
+// under the given options; error semantics match RunIntra.
 func RunInter(ctx context.Context, s Scale, opts ...Option) (*InterResult, error) {
-	return RunInterBlockOpts(ctx, s, NewRunOptions(opts...))
+	return runInterOpts(ctx, s, NewRunOptions(opts...))
 }
 
 // Run executes guests on h and returns the result. Options apply per

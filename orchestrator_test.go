@@ -30,11 +30,11 @@ func encodeDoc(t *testing.T, d *runner.Document) []byte {
 }
 
 func TestSerialAndParallelSweepsEmitIdenticalJSON(t *testing.T) {
-	serial, err := RunInterBlockOpts(context.Background(), ScaleTest, RunOptions{Parallel: 1})
+	serial, err := runInterOpts(context.Background(), ScaleTest, RunOptions{Parallel: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := RunInterBlockOpts(context.Background(), ScaleTest, RunOptions{Parallel: 8})
+	parallel, err := runInterOpts(context.Background(), ScaleTest, RunOptions{Parallel: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,11 +49,11 @@ func TestSerialAndParallelIntraSweepsEmitIdenticalJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the intra sweep twice")
 	}
-	serial, err := RunIntraBlockOpts(context.Background(), ScaleTest, RunOptions{Parallel: 1})
+	serial, err := runIntraOpts(context.Background(), ScaleTest, RunOptions{Parallel: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := RunIntraBlockOpts(context.Background(), ScaleTest, RunOptions{Parallel: 8})
+	parallel, err := runIntraOpts(context.Background(), ScaleTest, RunOptions{Parallel: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestInterAssemblyIndependentOfModeOrder(t *testing.T) {
 // error, the sweep must still terminate with a full set of run records,
 // and the partial result must carry no figure groups.
 func TestPerRunTimeoutFailsCellsWithLabels(t *testing.T) {
-	res, err := RunInterBlockOpts(context.Background(), ScaleTest,
+	res, err := runInterOpts(context.Background(), ScaleTest,
 		RunOptions{Parallel: 2, Timeout: time.Nanosecond})
 	if err == nil {
 		t.Fatal("expected timeout errors")

@@ -220,11 +220,13 @@ func (r *FaultReport) Render() string {
 
 // RunBuggyAnnotation injects each fault class into every intra-block
 // application (one fault per run, oracle always attached) and reports the
-// detection matrix. When opts.Faults is set, that single plan replaces
-// the canonical per-class plans and runs under Base. The returned error
-// covers harness failures only — detected coherence violations are the
-// experiment's successful outcome and land in the report, not the error.
-func RunBuggyAnnotation(ctx context.Context, s Scale, opts RunOptions) (*FaultReport, error) {
+// detection matrix. A WithFaultPlan option replaces the canonical
+// per-class plans with that single plan, run under Base. The returned
+// error covers harness failures only — detected coherence violations are
+// the experiment's successful outcome and land in the report, not the
+// error.
+func RunBuggyAnnotation(ctx context.Context, s Scale, options ...Option) (*FaultReport, error) {
+	opts := NewRunOptions(options...)
 	classes := FaultClasses
 	if opts.Faults != "" {
 		classes = []FaultClass{{Class: "custom", Plan: opts.Faults, Config: Base}}

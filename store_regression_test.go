@@ -32,7 +32,7 @@ func TestPagedAndOracleStoresEmitIdenticalJSON(t *testing.T) {
 	run := func(oracle bool) []byte {
 		mem.UseOracleStore(oracle)
 		defer mem.UseOracleStore(false)
-		res, err := RunIntraBlockOpts(context.Background(), ScaleTest, opts)
+		res, err := runIntraOpts(context.Background(), ScaleTest, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
